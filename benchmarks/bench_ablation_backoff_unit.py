@@ -1,0 +1,53 @@
+"""Ablation: backoff_time_unit (paper §V.D).
+
+The paper advises the baseline RTT (~100 us): "neither to use the large
+time unit since it could reduce the sending rate too much ... nor to use
+the small time unit because it could not help relieve the severe
+congestion".  We sweep the unit an order of magnitude in both directions
+at a fan-in where DCTCP+ must work.
+"""
+
+import pytest
+
+from repro.experiments.common import run_incast_point
+
+N = 80
+ROUNDS = 8
+UNITS_US = (10, 100, 1000)
+
+
+@pytest.mark.parametrize("unit_us", UNITS_US)
+def test_backoff_unit(benchmark, unit_us):
+    point = benchmark.pedantic(
+        run_incast_point,
+        args=("dctcp+", N),
+        kwargs=dict(
+            rounds=ROUNDS,
+            seeds=(1,),
+            plus_overrides={"backoff_time_unit_ns": unit_us * 1000},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["goodput_mbps"] = point.goodput_mbps
+    benchmark.extra_info["timeouts"] = point.timeouts
+    assert point.goodput_mbps > 0
+
+
+def test_baseline_rtt_unit_beats_tiny_unit(benchmark):
+    def compare():
+        tiny = run_incast_point(
+            "dctcp+", N, rounds=ROUNDS, seeds=(1,),
+            plus_overrides={"backoff_time_unit_ns": 5_000},
+        )
+        rtt = run_incast_point(
+            "dctcp+", N, rounds=ROUNDS, seeds=(1,),
+            plus_overrides={"backoff_time_unit_ns": 100_000},
+        )
+        return tiny, rtt
+
+    tiny, rtt = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["tiny_unit_mbps"] = tiny.goodput_mbps
+    benchmark.extra_info["rtt_unit_mbps"] = rtt.goodput_mbps
+    # A 5 us unit cannot relieve the fan-in congestion (paper's warning).
+    assert rtt.goodput_mbps > tiny.goodput_mbps

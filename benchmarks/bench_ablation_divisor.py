@@ -1,0 +1,32 @@
+"""Ablation: divisor_factor (paper §V.D).
+
+"the divisor factor is suggested neither to be too big for the premature
+recovery from the congestion state ... nor too conservative for retarding
+sending rate regulation" — we sweep 1.25 / 2 / 8.
+"""
+
+import pytest
+
+from repro.experiments.common import run_incast_point
+
+N = 80
+ROUNDS = 8
+
+
+@pytest.mark.parametrize("divisor", (1.25, 2.0, 8.0))
+def test_divisor_factor(benchmark, divisor):
+    point = benchmark.pedantic(
+        run_incast_point,
+        args=("dctcp+", N),
+        kwargs=dict(
+            rounds=ROUNDS,
+            seeds=(1,),
+            plus_overrides={"divisor_factor": divisor},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["goodput_mbps"] = point.goodput_mbps
+    benchmark.extra_info["timeouts"] = point.timeouts
+    benchmark.extra_info["fct_ms"] = point.fct_ms
+    assert point.goodput_mbps > 0

@@ -1,0 +1,32 @@
+"""Ablation: threshold_T — the unspecified Des->NORMAL exit guard.
+
+DESIGN.md §6 flags threshold_T as a reproduction choice (the paper never
+gives a value); this bench sweeps it to show results are not brittle in
+its vicinity.
+"""
+
+import pytest
+
+from repro.experiments.common import run_incast_point
+
+N = 80
+ROUNDS = 8
+
+
+@pytest.mark.parametrize("threshold_us", (5, 25, 100))
+def test_threshold_t(benchmark, threshold_us):
+    point = benchmark.pedantic(
+        run_incast_point,
+        args=("dctcp+", N),
+        kwargs=dict(
+            rounds=ROUNDS,
+            seeds=(1,),
+            plus_overrides={"threshold_t_ns": threshold_us * 1000},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["goodput_mbps"] = point.goodput_mbps
+    benchmark.extra_info["timeouts"] = point.timeouts
+    # The mechanism must keep working across a 20x threshold range.
+    assert point.goodput_mbps > 300

@@ -1,0 +1,46 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These are true pytest-benchmark timing benches (multiple rounds): the
+event-queue pump and the packet path are the hot loops every experiment
+pays for, so regressions here show up as wall-clock multipliers on all
+reproduction runs.
+"""
+
+from repro.net.topology import build_two_tier
+from repro.sim.engine import Simulator
+from repro.workloads.incast import IncastConfig, IncastWorkload
+from repro.workloads.protocols import spec_for
+
+
+def test_event_queue_pump(benchmark):
+    """Schedule + dispatch 20k timer events."""
+
+    def pump():
+        sim = Simulator()
+        for t in range(20_000):
+            sim.schedule(t, _noop)
+        sim.run_until_idle()
+        return sim.events_processed
+
+    processed = benchmark(pump)
+    assert processed == 20_000
+
+
+def _noop():
+    pass
+
+
+def test_packet_path_throughput(benchmark):
+    """End-to-end incast round: packets/second through the full stack."""
+
+    def one_round():
+        sim = Simulator(seed=1)
+        tree = build_two_tier(sim)
+        wl = IncastWorkload(
+            sim, tree, spec_for("dctcp"), IncastConfig(n_flows=10, n_rounds=1)
+        )
+        wl.run_to_completion(max_events=5_000_000)
+        return sim.events_processed
+
+    events = benchmark(one_round)
+    assert events > 1000

@@ -1,0 +1,26 @@
+"""Extension bench (Section VII): the enhancement coalesced with plain TCP.
+
+Without ECN the state machine only hears the loss channel, so TCP+ cannot
+match DCTCP+; this bench records how much of the benefit survives.
+"""
+
+from repro.experiments.common import run_incast_point
+
+N = 40
+ROUNDS = 8
+
+
+def test_tcp_plus_vs_tcp(benchmark):
+    def compare():
+        tcp = run_incast_point("tcp", N, rounds=ROUNDS, seeds=(1, 2))
+        tcp_plus = run_incast_point("tcp+", N, rounds=ROUNDS, seeds=(1, 2))
+        return tcp, tcp_plus
+
+    tcp, tcp_plus = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["tcp_mbps"] = tcp.goodput_mbps
+    benchmark.extra_info["tcp_plus_mbps"] = tcp_plus.goodput_mbps
+    benchmark.extra_info["tcp_timeouts"] = tcp.timeouts
+    benchmark.extra_info["tcp_plus_timeouts"] = tcp_plus.timeouts
+    # The loss-channel enhancement must not hurt, and typically trims the
+    # timeout count by pacing post-RTO recoveries.
+    assert tcp_plus.goodput_mbps >= 0.8 * tcp.goodput_mbps

@@ -1,0 +1,18 @@
+"""Bench: Fig. 1 — DCTCP/TCP goodput collapse vs concurrent flows."""
+
+from repro.experiments.fig01_goodput_collapse import run
+
+
+def test_fig1_goodput_collapse(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs=dict(n_values=(10, 40, 60), rounds=8, seeds=(1,)),
+        rounds=1,
+        iterations=1,
+    )
+    rows = {row[0]: row for row in result.rows}
+    benchmark.extra_info["table"] = result.to_csv()
+    # Shape: DCTCP healthy at N=10, collapsed by N=60; TCP collapsed by N=40.
+    assert rows[10][1] > 500  # DCTCP Mbps at N=10
+    assert rows[60][1] < 200  # DCTCP collapsed
+    assert rows[40][2] < 200  # TCP collapsed

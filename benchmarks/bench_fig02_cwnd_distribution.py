@@ -1,0 +1,22 @@
+"""Bench: Fig. 2 — cwnd-size frequency distribution at rising fan-in."""
+
+from repro.experiments.fig02_cwnd_distribution import run
+
+
+def test_fig2_cwnd_distribution(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs=dict(n_values=(10, 40), rounds=8, seeds=(1,)),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["table"] = result.to_csv()
+    headers = result.headers
+    dctcp40 = headers.index("dctcp/N=40")
+    by_cwnd = {row[0]: row for row in result.rows}
+    # Paper: at N=40, 60%+ of DCTCP transmissions happen at cwnd 1-2 MSS.
+    low_mass = by_cwnd[1][dctcp40] + by_cwnd[2][dctcp40]
+    assert low_mass > 0.6
+    dctcp10 = headers.index("dctcp/N=10")
+    low_mass_10 = by_cwnd[1][dctcp10] + by_cwnd[2][dctcp10]
+    assert low_mass_10 < low_mass  # floor pinning grows with fan-in

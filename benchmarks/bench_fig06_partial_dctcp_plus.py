@@ -1,0 +1,17 @@
+"""Bench: Fig. 6 — partial DCTCP+ (no desynchronization)."""
+
+from repro.experiments.fig06_partial_dctcp_plus import run
+
+
+def test_fig6_partial_dctcp_plus(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs=dict(n_values=(40, 80), rounds=8, seeds=(1,)),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["table"] = result.to_csv()
+    rows = {row[0]: row for row in result.rows}
+    # Partial DCTCP+ clears DCTCP's wall at N=80 (where DCTCP is collapsed).
+    assert rows[80][1] > rows[80][2]
+    assert rows[40][1] > 400

@@ -1,0 +1,21 @@
+"""Bench: Fig. 8 — DCTCP+ (200 ms RTO) vs DCTCP/TCP tuned to 10 ms RTO."""
+
+from repro.experiments.fig08_rto_10ms import run
+
+
+def test_fig8_rto_comparison(benchmark):
+    # N=120: past DCTCP's collapse knee even with footnote 3's 1 MSS floor
+    result = benchmark.pedantic(
+        run,
+        kwargs=dict(n_values=(120,), rounds=8, seeds=(1,)),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["table"] = result.to_csv()
+    row = result.rows[0]
+    plus, dctcp10, tcp10 = row[1], row[2], row[3]
+    # The 10 ms RTO lifts DCTCP well above the 200 ms floor (~41 Mbps)...
+    assert dctcp10 > 100
+    # ...but DCTCP+ without any RTO tuning still wins.
+    assert plus > dctcp10
+    assert plus > tcp10

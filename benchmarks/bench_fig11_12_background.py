@@ -1,0 +1,19 @@
+"""Bench: Fig. 11 & 12 — incast goodput/FCT with background long flows."""
+
+from repro.experiments.fig11_12_background import run
+
+
+def test_fig11_fig12_background_mix(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs=dict(n_values=(40, 80), rounds=4, seeds=(1,)),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["table"] = result.to_csv()
+    rows = {row[0]: row for row in result.rows}
+    # With background traffic consuming buffer, DCTCP+ still beats DCTCP
+    # and TCP on goodput and on FCT at high fan-in.
+    assert rows[80][1] > rows[80][2]
+    assert rows[80][1] > rows[80][3]
+    assert rows[80][4] < rows[80][5]

@@ -1,0 +1,25 @@
+"""Bench: Fig. 13 — production-cluster benchmark FCT statistics."""
+
+from repro.experiments.fig13_benchmark import run
+
+
+def test_fig13_benchmark_traffic(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs=dict(
+            n_queries=120, n_background=120, n_short=24, query_fanout=120
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["table"] = result.to_csv()
+    by_key = {(row[0], row[1]): row for row in result.rows}
+    plus = by_key[("query", "dctcp+")]
+    dctcp = by_key[("query", "dctcp")]
+    # DCTCP+ should not lose on mean query FCT, and takes fewer timeouts.
+    assert plus[3] <= dctcp[3] * 1.15
+    assert plus[6] <= dctcp[6]
+    # Background traffic barely differs (< 35% at the mean).
+    bg_plus = by_key[("background", "dctcp+")]
+    bg_dctcp = by_key[("background", "dctcp")]
+    assert abs(bg_plus[3] - bg_dctcp[3]) <= 0.35 * max(bg_plus[3], bg_dctcp[3])

@@ -1,0 +1,19 @@
+"""Bench: Fig. 14 — DCTCP+ convergence: initial-round overflow."""
+
+from repro.experiments.fig14_initial_rounds import run
+
+
+def test_fig14_initial_round_overflow(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs=dict(n_flows=50, bytes_per_flow=1024 * 1024, rounds=2),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["table"] = result.to_csv()
+    peaks = [row[1] for row in result.rows]
+    # The first window(s) hit the buffer limit before slow_time converges...
+    assert max(peaks[:4]) > 120.0
+    # ...then the regulated queue stays clearly below it.
+    steady = peaks[len(peaks) // 2 :]
+    assert sum(steady) / len(steady) < 110.0

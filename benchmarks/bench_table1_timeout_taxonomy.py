@@ -1,0 +1,34 @@
+"""Bench: Table I — incapable state share and timeout taxonomy."""
+
+from repro.experiments.table1_timeout_taxonomy import run
+from repro.experiments.common import run_incast_point
+from repro.metrics.cwnd_tracker import stack_state_shares
+
+
+def test_table1_report(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs=dict(n_values=(20, 40), rounds=8, seeds=(1,)),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["table"] = result.to_csv()
+    assert len(result.rows) == 2
+
+
+def test_table1_shape(benchmark):
+    """The quantitative shape behind Table I at N=40."""
+
+    def measure():
+        point = run_incast_point("dctcp", 40, rounds=8, seeds=(1,))
+        return stack_state_shares(point.flow_stats)
+
+    shares = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["cwnd2_ece1_share"] = shares.cwnd2_ece1_share
+    benchmark.extra_info["timeout_share"] = shares.timeout_share
+    benchmark.extra_info["floss_share"] = shares.floss_share
+    # Paper N=40: the incapable state is common (50.2%) and timeouts exist
+    # with both kinds present.
+    assert shares.cwnd2_ece1_share > 0.10
+    assert shares.timeout_share > 0.0
+    assert 0.0 < shares.floss_share <= 1.0

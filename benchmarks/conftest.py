@@ -1,0 +1,29 @@
+"""Shared configuration for the reproduction benches.
+
+Each bench regenerates one paper table/figure at a reduced scale (fewer
+rounds/seeds/flow counts than the paper's 1000 repetitions) and records
+the measured values in ``benchmark.extra_info`` so that
+``pytest benchmarks/ --benchmark-only`` doubles as a results report.
+Paper-scale runs go through ``python -m repro.experiments <id> --paper``.
+
+Every simulation is deterministic given its seed, so a single measurement
+round per bench is meaningful; we use ``benchmark.pedantic`` to avoid
+re-running multi-second simulations five times.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Fixture wrapper around :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,89 @@
+"""repro — a packet-level reproduction of DCTCP+ ("Slowing Little Quickens
+More: Improving DCTCP for Massive Concurrent Flows", ICPP 2015).
+
+The package layers:
+
+- :mod:`repro.sim`   — discrete-event engine (integer-ns clock, RNG streams)
+- :mod:`repro.net`   — packets, links, ECN switches, hosts, the 2-tier tree
+- :mod:`repro.tcp`   — TCP New Reno and DCTCP senders, timeout taxonomy
+- :mod:`repro.core`  — DCTCP+ (slow_time state machine + pacer) — the paper
+- :mod:`repro.workloads` — incast rounds, long flows, benchmark traffic
+- :mod:`repro.metrics`   — flow stats, queue sampling, histograms, tables
+- :mod:`repro.experiments` — one driver per paper table/figure
+
+Quickstart::
+
+    from repro import Simulator, build_two_tier, IncastConfig, IncastWorkload, spec_for
+
+    sim = Simulator(seed=1)
+    tree = build_two_tier(sim)
+    workload = IncastWorkload(sim, tree, spec_for("dctcp+"), IncastConfig(n_flows=80))
+    workload.run_to_completion()
+    print(workload.mean_goodput_bps / 1e6, "Mbps")
+"""
+
+from .core import (
+    DctcpPlusConfig,
+    DctcpPlusSender,
+    DctcpPlusState,
+    SlowTimePacer,
+    SlowTimeStateMachine,
+)
+from .metrics import FlowStats, QueueSampler
+from .net import (
+    Host,
+    Link,
+    Packet,
+    Switch,
+    TopologyParams,
+    TwoTierTree,
+    build_dumbbell,
+    build_two_tier,
+)
+from .sim import Simulator
+from .tcp import DctcpSender, TcpConfig, TcpReceiver, TcpSender, TimeoutKind
+from .workloads import (
+    BackgroundConfig,
+    BackgroundTraffic,
+    BenchmarkConfig,
+    BenchmarkWorkload,
+    IncastConfig,
+    IncastWorkload,
+    ProtocolSpec,
+    spec_for,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "Host",
+    "Link",
+    "Packet",
+    "Switch",
+    "TopologyParams",
+    "TwoTierTree",
+    "build_two_tier",
+    "build_dumbbell",
+    "TcpConfig",
+    "TcpSender",
+    "TcpReceiver",
+    "DctcpSender",
+    "TimeoutKind",
+    "DctcpPlusConfig",
+    "DctcpPlusSender",
+    "DctcpPlusState",
+    "SlowTimePacer",
+    "SlowTimeStateMachine",
+    "IncastConfig",
+    "IncastWorkload",
+    "BackgroundConfig",
+    "BackgroundTraffic",
+    "BenchmarkConfig",
+    "BenchmarkWorkload",
+    "ProtocolSpec",
+    "spec_for",
+    "FlowStats",
+    "QueueSampler",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Closed-form models of the paper's back-of-envelope analysis."""
+
+from .pipeline import (
+    PathModel,
+    collapse_fanin,
+    expected_goodput_bps,
+    required_slow_time_ns,
+    rto_bound_goodput_bps,
+)
+
+__all__ = [
+    "PathModel",
+    "collapse_fanin",
+    "required_slow_time_ns",
+    "rto_bound_goodput_bps",
+    "expected_goodput_bps",
+]

@@ -1,0 +1,106 @@
+"""Analytic models from the paper's Sections II.C and IV.C.
+
+These closed-form quantities predict *where* the simulated (and testbed)
+dynamics change regime, and the test suite cross-checks the simulator
+against them:
+
+- **Pipeline capacity** ``C x D + B`` — the bytes the network can hold.
+- **Collapse fan-in** — the paper's Section IV.C calculation: N flows at
+  w MSS each overflow once ``N * w * MSS`` exceeds the pipeline capacity
+  (their example: N = 40 at w = 3, or N = 60 at w = 2, vs 140.5 KB).
+- **Required slow_time** — the interval regulation target: N flows of
+  one packet per ``RTT + slow_time`` fit into C only when the interval
+  reaches ``N * packet_time``.
+- **RTO-bound goodput** — the collapse floor: one ``RTO_min`` stall per
+  round caps goodput at roughly ``round_bytes / RTO_min`` (the flat
+  ~41 Mbps line in Figs. 1/7/8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.units import SECOND
+
+
+@dataclass(frozen=True)
+class PathModel:
+    """Static description of the bottleneck path."""
+
+    link_rate_bps: int
+    base_rtt_ns: int
+    buffer_bytes: int
+    mss_wire_bytes: int = 1500
+
+    @property
+    def bandwidth_delay_product_bytes(self) -> float:
+        """In-flight capacity ``C x D`` in bytes."""
+        return self.link_rate_bps / 8.0 * self.base_rtt_ns / SECOND
+
+    @property
+    def pipeline_capacity_bytes(self) -> float:
+        """The paper's ``C x D + B``."""
+        return self.bandwidth_delay_product_bytes + self.buffer_bytes
+
+    def packet_service_time_ns(self, wire_bytes: int = 0) -> float:
+        """Serialization time of one frame at the bottleneck."""
+        size = wire_bytes or self.mss_wire_bytes
+        return size * 8.0 * SECOND / self.link_rate_bps
+
+
+def collapse_fanin(path: PathModel, window_mss: float, mss: int = 1460) -> int:
+    """Largest N for which N synchronized windows still fit the pipeline.
+
+    Section IV.C: ``sum(w_i) = N * w * MSS`` against ``C x D + B``.  The
+    paper's example (w = 2, 1 Gbps x 100 us + 128 KB) gives N ~ 46; with
+    w = 3 it drops to ~31 — bracketing the observed DCTCP collapse at ~35.
+    """
+    if window_mss <= 0:
+        raise ValueError("window must be positive")
+    per_flow = window_mss * mss
+    return int(path.pipeline_capacity_bytes // per_flow)
+
+
+def required_slow_time_ns(path: PathModel, n_flows: int) -> float:
+    """slow_time needed so N one-packet-per-interval flows fit into C.
+
+    Stability needs per-flow interval >= N * packet_time; the pacer
+    provides ``RTT + slow_time``, so the requirement is
+    ``slow_time >= N * packet_time - RTT`` (0 when the ACK clock alone is
+    slow enough).
+    """
+    if n_flows <= 0:
+        raise ValueError("n_flows must be positive")
+    needed_interval = n_flows * path.packet_service_time_ns()
+    return max(0.0, needed_interval - path.base_rtt_ns)
+
+
+def rto_bound_goodput_bps(round_bytes: int, rto_ns: int, transfer_ns: float = 0.0) -> float:
+    """Goodput of a round that hits one retransmission timeout.
+
+    The collapse floor of Figs. 1/7: with ``RTO_min`` = 200 ms and 1 MB
+    rounds, ~41 Mbps regardless of N.
+    """
+    if rto_ns <= 0:
+        raise ValueError("rto must be positive")
+    duration = rto_ns + transfer_ns
+    return round_bytes * 8.0 * SECOND / duration
+
+
+def expected_goodput_bps(
+    round_bytes: int,
+    clean_round_ns: float,
+    timeout_probability: float,
+    rto_ns: int,
+) -> float:
+    """Mean per-round goodput when a fraction of rounds stall once.
+
+    Used to interpret the paper's "fluctuates between 600 and 900 Mbps":
+    with mean-of-rounds reporting, a small probability of a single
+    ``RTO_min`` stall produces exactly that band.
+    """
+    if not 0.0 <= timeout_probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    clean = round_bytes * 8.0 * SECOND / clean_round_ns
+    stalled = round_bytes * 8.0 * SECOND / (clean_round_ns + rto_ns)
+    return (1.0 - timeout_probability) * clean + timeout_probability * stalled

@@ -1,0 +1,18 @@
+"""DCTCP+ — slow_time regulation and sender desynchronization (the paper's
+primary contribution)."""
+
+from .config import DctcpPlusConfig
+from .dctcp_plus import DctcpPlusSender
+from .pacer import SlowTimePacer
+from .reno_plus import RenoPlusSender
+from .state_machine import SlowTimeStateMachine
+from .states import DctcpPlusState
+
+__all__ = [
+    "DctcpPlusConfig",
+    "DctcpPlusSender",
+    "RenoPlusSender",
+    "SlowTimePacer",
+    "SlowTimeStateMachine",
+    "DctcpPlusState",
+]

@@ -1,0 +1,78 @@
+"""DCTCP+ configuration (paper Section V.C/V.D parameter guidance)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..sim.units import US
+
+
+@dataclass
+class DctcpPlusConfig:
+    """Knobs of the slow_time regulation law (Algorithm 1).
+
+    The paper's guidance:
+
+    - ``backoff_time_unit``: use the **baseline RTT** (~100 µs on their
+      testbed; 100 µs is also quoted as the default).  Too large wastes
+      bandwidth; too small fails to relieve the fan-in congestion.
+    - ``divisor_factor``: 2.  Too large recovers prematurely; too small
+      retards the rate recovery.
+    - ``randomize``: the desynchronization mechanism.  The paper's
+      "partially implemented DCTCP+" (Fig. 6) disables it and collapses
+      past ~100 flows; the full protocol keeps it on.
+    - ``threshold_T``: unspecified in the paper; we default to a quarter of
+      the backoff unit so a congestion-free flow exits through TIME_DES in
+      a couple of ACKs (see DESIGN.md §6).
+    """
+
+    backoff_time_unit_ns: int = 100 * US
+    #: How the backoff unit tracks the path.  The paper says "we choose to
+    #: use the baseline RTT as the backoff time unit"; in a kernel the
+    #: available quantity is the connection's smoothed RTT estimate, which
+    #: equals the baseline RTT on an idle path and inflates with queueing
+    #: delay under fan-in congestion.  ``"srtt"`` (default) draws each
+    #: increment from U(0, max(srtt, backoff_time_unit_ns)) — self-scaling:
+    #: small nudges at low fan-in, ms-scale backoff when hundreds of flows
+    #: inflate the RTT.  ``"fixed"`` always uses ``backoff_time_unit_ns``
+    #: (the paper's recommendation: one *baseline* RTT), and is the default
+    #: — srtt-scaled increments overshoot and oscillate in our calibration
+    #: runs (see EXPERIMENTS.md).
+    backoff_unit_mode: str = "fixed"
+    divisor_factor: float = 2.0
+    threshold_t_ns: int = 25 * US
+    randomize: bool = True
+    #: Minimum spacing between consecutive multiplicative decreases of
+    #: slow_time.  Fig. 4 guards the relaxation path with a *time*
+    #: threshold "to guarantee the relatively smooth regulation of the
+    #: sending rate"; pacing the decay by roughly one backoff unit keeps a
+    #: burst of clean ACKs (e.g. the drain after a round barrier) from
+    #: collapsing slow_time in a single RTT.  0 decays on every clean ACK.
+    decay_interval_ns: int = 100 * US
+    #: ``"srtt"`` paces decay at one division per smoothed RTT (the classic
+    #: AIMD cadence — cwnd also halves at most once per RTT); ``"fixed"``
+    #: uses ``decay_interval_ns`` as-is.
+    decay_interval_mode: str = "srtt"
+    #: cwnd floor used by the DCTCP+ experiments (paper footnote 3 lowers
+    #: it to 1 MSS for a smoother rate change).
+    min_cwnd_mss: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.backoff_time_unit_ns <= 0:
+            raise ValueError("backoff_time_unit must be positive")
+        if self.backoff_unit_mode not in ("fixed", "srtt"):
+            raise ValueError(
+                f"backoff_unit_mode must be 'fixed' or 'srtt', got {self.backoff_unit_mode!r}"
+            )
+        if self.divisor_factor <= 1.0:
+            raise ValueError(
+                f"divisor_factor must exceed 1 (got {self.divisor_factor}); "
+                "values <= 1 would never shrink slow_time"
+            )
+        if self.threshold_t_ns < 0:
+            raise ValueError("threshold_T must be non-negative")
+        if self.min_cwnd_mss <= 0:
+            raise ValueError("cwnd floor must be positive")
+
+    def with_overrides(self, **kwargs) -> "DctcpPlusConfig":
+        return replace(self, **kwargs)

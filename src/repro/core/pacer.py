@@ -1,0 +1,52 @@
+"""The slow_time send gate — the simulator analogue of the paper's hrtimer.
+
+The kernel implementation postpones each ``tcp_transmit_skb()`` call by
+``slow_time`` via a high-resolution timer: *"the sender will wait for a
+slow_time to inject the next packet into networks instead of immediate
+transmission"*.  The delay therefore adds to the ACK clock — a
+window-of-one flow sends once per ``RTT + slow_time`` — rather than merely
+rate-capping departures.  This distinction matters: under heavy fan-in the
+queueing delay inflates the RTT, and a pure rate cap of ``slow_time``
+below that inflated RTT would never bind, leaving the switch queue pinned
+at the overflow point.
+
+Mechanics: when the sender finds a packet eligible (window open, data
+waiting) it asks the pacer for a release time; the pacer stamps
+``attempt + slow_time`` and holds that packet until then.  Packets queued
+behind it are each delayed ``slow_time`` after the previous departure,
+exactly like consecutive hrtimer-deferred ``tcp_transmit_skb`` calls.
+"""
+
+from __future__ import annotations
+
+from .state_machine import SlowTimeStateMachine
+from .states import DctcpPlusState
+
+
+class SlowTimePacer:
+    """Per-flow transmission gate driven by a :class:`SlowTimeStateMachine`."""
+
+    __slots__ = ("machine", "_release_ns", "delayed_packets", "total_delay_ns")
+
+    def __init__(self, machine: SlowTimeStateMachine):
+        self.machine = machine
+        self._release_ns = -1  # pending packet's release time; -1 = none held
+        self.delayed_packets = 0
+        self.total_delay_ns = 0
+
+    def next_send_time(self, now: int) -> int:
+        """Earliest instant the currently eligible packet may depart."""
+        slow_time = self.machine.slow_time_ns
+        if self.machine.state is DctcpPlusState.NORMAL or slow_time <= 0:
+            self._release_ns = -1
+            return now
+        if self._release_ns < now:
+            # Fresh transmission attempt: defer it by slow_time.
+            self._release_ns = now + slow_time
+            self.delayed_packets += 1
+            self.total_delay_ns += slow_time
+        return self._release_ns
+
+    def on_sent(self, now: int) -> None:
+        """The held packet departed; the next one gets its own deferral."""
+        self._release_ns = -1

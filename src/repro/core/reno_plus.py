@@ -1,0 +1,88 @@
+"""TCP New Reno carrying the slow_time enhancement ("TCP⁺").
+
+Section VII of the paper proposes coalescing the enhancement mechanism
+with plain TCP.  Without ECN there is no per-ACK congestion bit, so the
+state machine's congestion evidence reduces to the loss channel: an RTO
+and the ACKs that arrive while its go-back-N retransmissions are
+outstanding (the kernel CA_Loss reading used for DCTCP⁺), plus the entry
+condition that cwnd has collapsed to its floor.
+
+This cannot match DCTCP⁺ — losses are a far coarser signal than marks —
+but it demonstrates the mechanism's portability and measurably softens
+TCP's incast behaviour at moderate fan-in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..metrics.flowstats import FlowStats
+from ..net.host import Host
+from ..sim.engine import Simulator
+from ..tcp.config import TcpConfig
+from ..tcp.sender import TcpSender
+from ..tcp.timeouts import TimeoutKind
+from .config import DctcpPlusConfig
+from .pacer import SlowTimePacer
+from .state_machine import SlowTimeStateMachine
+from .states import DctcpPlusState
+
+
+class RenoPlusSender(TcpSender):
+    """TCP New Reno + slow_time regulation driven by the loss channel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        dst_node_id: int,
+        flow_id: int,
+        config: Optional[TcpConfig] = None,
+        plus_config: Optional[DctcpPlusConfig] = None,
+        stats: Optional[FlowStats] = None,
+        on_complete: Optional[Callable[[TcpSender], None]] = None,
+    ):
+        self.plus_config = plus_config or DctcpPlusConfig()
+        config = (config or TcpConfig()).with_overrides(
+            min_cwnd_mss=self.plus_config.min_cwnd_mss, ecn_enabled=False
+        )
+        super().__init__(sim, host, dst_node_id, flow_id, config, stats, on_complete)
+        self.machine = SlowTimeStateMachine(
+            self.plus_config, sim.stream(f"tcp+/{sim.next_sequence()}")
+        )
+        if self.plus_config.backoff_unit_mode == "srtt":
+            self.machine.unit_source = self._srtt_unit
+        self.pacer = SlowTimePacer(self.machine)
+        self._retrans_pending = False
+
+    def _srtt_unit(self):
+        srtt = self.rtt.srtt_ns
+        return int(srtt) if srtt is not None else None
+
+    @property
+    def _cwnd_at_floor(self) -> bool:
+        return self.cwnd <= self.config.min_cwnd_bytes + 1e-6
+
+    def _after_ack(self, ece: bool, is_dup: bool) -> None:
+        congested = self._retrans_pending or self.in_rto_recovery
+        if congested:
+            if self.machine.state is not DctcpPlusState.NORMAL or self._cwnd_at_floor:
+                self.machine.on_congestion_event()
+        else:
+            self.machine.on_clean_ack(self.sim.now)
+        self._retrans_pending = False
+        super()._after_ack(ece, is_dup)
+
+    def _cc_on_timeout(self, kind: TimeoutKind) -> None:
+        super()._cc_on_timeout(kind)
+        self._retrans_pending = True
+        if self._cwnd_at_floor:
+            self.machine.on_congestion_event()
+
+    @property
+    def state(self) -> DctcpPlusState:
+        return self.machine.state
+
+    @property
+    def slow_time_ns(self) -> int:
+        return self.machine.slow_time_ns

@@ -1,0 +1,21 @@
+"""The three DCTCP+ sender states (paper Section V.B, Fig. 4)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class DctcpPlusState(Enum):
+    """Where the sender sits in the slow_time regulation machine."""
+
+    #: DCTCP works normally; no transmission delay is applied.
+    NORMAL = "DCTCP_NORMAL"
+    #: cwnd is at its floor and congestion feedback keeps arriving; each
+    #: event grows ``slow_time`` additively (randomized backoff).
+    TIME_INC = "DCTCP_Time_Inc"
+    #: Congestion feedback stopped; ``slow_time`` decays multiplicatively
+    #: until it drops below ``threshold_T`` and the sender returns to NORMAL.
+    TIME_DES = "DCTCP_Time_Des"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

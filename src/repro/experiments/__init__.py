@@ -1,0 +1,19 @@
+"""Per-figure experiment drivers (one module per paper table/figure)."""
+
+from .common import (
+    BENCH_N_VALUES,
+    ExperimentResult,
+    IncastPointResult,
+    make_spec,
+    run_incast_point,
+    run_incast_sweep,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "IncastPointResult",
+    "make_spec",
+    "run_incast_point",
+    "run_incast_sweep",
+    "BENCH_N_VALUES",
+]

@@ -1,0 +1,185 @@
+"""Shared infrastructure for the per-figure experiment drivers.
+
+Every driver produces an :class:`ExperimentResult` — a titled table plus
+free-form notes — via :func:`run_incast_point` / :func:`run_incast_sweep`
+so that all figures share one measurement methodology:
+
+- a fresh :class:`~repro.sim.engine.Simulator` and two-tier tree per
+  (protocol, N, seed) point;
+- persistent-connection incast rounds (see
+  :class:`~repro.workloads.incast.IncastWorkload`);
+- results averaged across seeds (the paper averages 1000 repetitions; we
+  default to fewer rounds x seeds and the CLI exposes ``--rounds/--seeds``).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..metrics.flowstats import FlowStats
+from ..metrics.queue_sampler import QueueSampler
+from ..metrics.report import format_table
+from ..net.topology import TopologyParams, TwoTierTree, build_two_tier
+from ..sim.engine import Simulator
+from ..workloads.background import BackgroundConfig, BackgroundTraffic
+from ..workloads.incast import IncastConfig, IncastWorkload
+from ..workloads.protocols import ProtocolSpec, spec_for
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure, ready to print or export."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    notes: List[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        text = format_table(self.headers, self.rows, title=f"{self.experiment_id}: {self.title}")
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return text
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buf.getvalue()
+
+
+@dataclass
+class IncastPointResult:
+    """Aggregated outcome of one (protocol, N) incast measurement."""
+
+    protocol: str
+    n_flows: int
+    goodput_mbps: float
+    fct_ms: float
+    timeouts: int
+    rounds: int
+    bad_rounds: int
+    flow_stats: List[FlowStats] = field(default_factory=list)
+    queue_samples_bytes: List[int] = field(default_factory=list)
+
+
+def make_spec(
+    protocol: str,
+    rto_min_ms: Optional[float] = None,
+    min_cwnd_mss: Optional[float] = None,
+    plus_overrides: Optional[dict] = None,
+) -> ProtocolSpec:
+    """Protocol spec with the overrides the figures vary."""
+    tcp_overrides: Dict[str, object] = {}
+    if rto_min_ms is not None:
+        tcp_overrides["rto_min_ns"] = int(rto_min_ms * 1e6)
+    if min_cwnd_mss is not None:
+        tcp_overrides["min_cwnd_mss"] = min_cwnd_mss
+    return spec_for(protocol, tcp_overrides=tcp_overrides, plus_overrides=plus_overrides)
+
+
+def run_incast_point(
+    protocol: str,
+    n_flows: int,
+    rounds: int = 20,
+    seeds: Sequence[int] = (1,),
+    rto_min_ms: Optional[float] = None,
+    min_cwnd_mss: Optional[float] = None,
+    plus_overrides: Optional[dict] = None,
+    incast_overrides: Optional[dict] = None,
+    topo: Optional[TopologyParams] = None,
+    with_background: bool = False,
+    sample_queue: bool = False,
+    max_events_per_seed: int = 400_000_000,
+) -> IncastPointResult:
+    """Run the basic incast experiment at one (protocol, N) point.
+
+    Averages goodput/FCT across seeds; concatenates flow stats and queue
+    samples (for Fig. 2 / Table I / Fig. 9 post-processing).
+    """
+    goodputs: List[float] = []
+    fcts: List[float] = []
+    timeouts = 0
+    bad_rounds = 0
+    total_rounds = 0
+    all_stats: List[FlowStats] = []
+    queue_samples: List[int] = []
+    bg_throughputs: List[float] = []
+
+    for seed in seeds:
+        sim = Simulator(seed=seed)
+        tree = build_two_tier(sim, topo)
+        cfg_kwargs = dict(n_flows=n_flows, n_rounds=rounds)
+        if incast_overrides:
+            cfg_kwargs.update(incast_overrides)
+        config = IncastConfig(**cfg_kwargs)
+        spec = make_spec(protocol, rto_min_ms, min_cwnd_mss, plus_overrides)
+
+        background = None
+        if with_background:
+            bg_spec = make_spec(protocol, rto_min_ms, min_cwnd_mss, plus_overrides)
+            background = BackgroundTraffic(sim, tree, bg_spec)
+            background.start()
+
+        sampler = None
+        if sample_queue:
+            sampler = QueueSampler(sim, tree.bottleneck_port)
+            sampler.start()
+
+        workload = IncastWorkload(sim, tree, spec, config)
+        workload.run_to_completion(max_events=max_events_per_seed)
+
+        goodputs.append(workload.mean_goodput_bps)
+        fcts.append(workload.mean_fct_ns)
+        timeouts += workload.total_timeouts
+        bad_rounds += sum(1 for r in workload.rounds if r.timeouts > 0)
+        total_rounds += len(workload.rounds)
+        all_stats.extend(workload.flow_stats)
+        if sampler is not None:
+            sampler.stop()
+            queue_samples.extend(sampler.occupancy_bytes)
+        if background is not None:
+            bg_throughputs.append(background.mean_throughput_bps())
+            background.stop()
+        workload.close()
+
+    result = IncastPointResult(
+        protocol=protocol,
+        n_flows=n_flows,
+        goodput_mbps=sum(goodputs) / len(goodputs) / 1e6,
+        fct_ms=sum(fcts) / len(fcts) / 1e6,
+        timeouts=timeouts,
+        rounds=total_rounds,
+        bad_rounds=bad_rounds,
+        flow_stats=all_stats,
+        queue_samples_bytes=queue_samples,
+    )
+    if bg_throughputs:
+        # Stash the long-flow observation for Fig. 11/12 notes.
+        result.bg_throughput_mbps = sum(bg_throughputs) / len(bg_throughputs) / 1e6  # type: ignore[attr-defined]
+    return result
+
+
+def run_incast_sweep(
+    protocols: Sequence[str],
+    n_values: Sequence[int],
+    **kwargs,
+) -> Dict[str, List[IncastPointResult]]:
+    """Sweep N for each protocol; kwargs forwarded to run_incast_point."""
+    results: Dict[str, List[IncastPointResult]] = {}
+    for protocol in protocols:
+        results[protocol] = [
+            run_incast_point(protocol, n, **kwargs) for n in n_values
+        ]
+    return results
+
+
+#: N values used by the reduced (bench) and paper-scale sweeps.
+BENCH_N_VALUES = (10, 20, 40, 60, 80)
+PAPER_N_VALUES_FIG1 = tuple(range(5, 101, 5))
+PAPER_N_VALUES_FIG7 = tuple(range(10, 201, 10))

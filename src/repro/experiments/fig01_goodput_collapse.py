@@ -1,0 +1,47 @@
+"""Fig. 1 — goodput of DCTCP and TCP vs number of concurrent flows.
+
+Paper setup: basic incast, aggregator requests 1 MB/N from N workers,
+128 KB static buffer per port, K = 32 KB, 1000 repetitions, N in 1..100.
+Paper result: TCP collapses past ~10 concurrent flows; DCTCP holds near
+line rate until ~35 and then collapses to the RTO-bound floor.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .common import ExperimentResult, run_incast_sweep
+
+EXPERIMENT_ID = "fig1"
+TITLE = "Goodput vs concurrent flows (DCTCP, TCP) — basic incast"
+
+
+def run(
+    n_values: Sequence[int] = (1, 5, 10, 15, 20, 30, 35, 40, 50, 60, 80, 100),
+    rounds: int = 20,
+    seeds: Sequence[int] = (1, 2, 3),
+) -> ExperimentResult:
+    sweep = run_incast_sweep(("dctcp", "tcp"), n_values, rounds=rounds, seeds=seeds)
+    rows = []
+    for i, n in enumerate(n_values):
+        dctcp = sweep["dctcp"][i]
+        tcp = sweep["tcp"][i]
+        rows.append(
+            [
+                n,
+                round(dctcp.goodput_mbps, 1),
+                round(tcp.goodput_mbps, 1),
+                dctcp.timeouts,
+                tcp.timeouts,
+            ]
+        )
+    return ExperimentResult(
+        EXPERIMENT_ID,
+        TITLE,
+        ["N", "DCTCP goodput (Mbps)", "TCP goodput (Mbps)", "DCTCP timeouts", "TCP timeouts"],
+        rows,
+        notes=[
+            f"{rounds} rounds x {len(seeds)} seeds per point (paper: 1000 repetitions)",
+            "expected shape: TCP collapses past ~10 flows, DCTCP past ~35-40",
+        ],
+    )

@@ -1,0 +1,81 @@
+"""Fig. 13 — benchmark traffic from production-cluster statistics.
+
+7,000 queries + 7,000 background flows (+ short messages), both protocols
+with ``RTO_min = 10 ms``.  Paper result: mean query FCT 4.1 ms for DCTCP+
+vs 13.6 ms for DCTCP; at the 95th percentile DCTCP+ is slightly *slower*
+(the deliberate slow_time delay), but at the 99th percentile it wins by
+16.3 ms.  Background traffic differs by <1 ms at the mean/95th and
+~15 ms at the 99th — "slowing little quickens more".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.topology import build_two_tier
+from ..sim.engine import Simulator
+from ..workloads.benchmark import BenchmarkConfig, BenchmarkWorkload
+from .common import ExperimentResult, make_spec
+
+EXPERIMENT_ID = "fig13"
+TITLE = "Benchmark traffic FCT statistics (ms), RTO_min = 10 ms"
+
+
+def run(
+    n_queries: int = 300,
+    n_background: int = 300,
+    n_short: int = 60,
+    query_fanout: int = 40,
+    max_flow_bytes: Optional[int] = 4 * 1024 * 1024,
+    seed: int = 1,
+    max_events: int = 800_000_000,
+) -> ExperimentResult:
+    """Defaults are reduced-scale; pass ``n_queries=7000, n_background=7000,
+    max_flow_bytes=None`` for the paper's full mix."""
+    rows = []
+    summaries = {}
+    for protocol in ("dctcp+", "dctcp"):
+        sim = Simulator(seed=seed)
+        tree = build_two_tier(sim)
+        spec = make_spec(protocol, rto_min_ms=10.0, min_cwnd_mss=1.0)
+        config = BenchmarkConfig(
+            n_queries=n_queries,
+            n_background=n_background,
+            n_short_messages=n_short,
+            query_fanout=query_fanout,
+            max_flow_bytes=max_flow_bytes,
+        )
+        workload = BenchmarkWorkload(sim, tree, spec, config)
+        workload.run_to_completion(max_events=max_events)
+        for category in ("query", "background", "short"):
+            summaries[(protocol, category)] = (
+                workload.fct_summary_ms(category),
+                workload.timeout_total(category),
+            )
+
+    for category in ("query", "background", "short"):
+        for protocol in ("dctcp+", "dctcp"):
+            summary, timeouts = summaries[(protocol, category)]
+            rows.append(
+                [
+                    category,
+                    protocol,
+                    summary.count,
+                    round(summary.mean, 2),
+                    round(summary.p95, 2),
+                    round(summary.p99, 2),
+                    timeouts,
+                ]
+            )
+    return ExperimentResult(
+        EXPERIMENT_ID,
+        TITLE,
+        ["category", "protocol", "flows", "mean", "p95", "p99", "timeouts"],
+        rows,
+        notes=[
+            f"{n_queries} queries / {n_background} background / {n_short} short",
+            "(paper: 7000/7000; run with --paper for full scale)",
+            "expected shape: DCTCP+ wins the query mean and 99th percentile;",
+            "background traffic is barely affected",
+        ],
+    )

@@ -1,0 +1,62 @@
+"""Experiment registry: id -> driver module.
+
+``python -m repro.experiments <id>`` resolves through here; benches import
+the same drivers so the bench and the CLI always run identical code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from . import (
+    fig01_goodput_collapse,
+    fig02_cwnd_distribution,
+    fig06_partial_dctcp_plus,
+    fig07_full_dctcp_plus,
+    fig08_rto_10ms,
+    fig09_queue_cdf,
+    fig11_12_background,
+    fig13_benchmark,
+    fig14_initial_rounds,
+    table1_timeout_taxonomy,
+)
+from .common import ExperimentResult
+
+_MODULES = {
+    "fig1": fig01_goodput_collapse,
+    "fig2": fig02_cwnd_distribution,
+    "table1": table1_timeout_taxonomy,
+    "fig6": fig06_partial_dctcp_plus,
+    "fig7": fig07_full_dctcp_plus,
+    "fig8": fig08_rto_10ms,
+    "fig9": fig09_queue_cdf,
+    "fig11": fig11_12_background,
+    "fig12": fig11_12_background,  # same driver reports both panels
+    "fig13": fig13_benchmark,
+    "fig14": fig14_initial_rounds,
+}
+
+
+def experiment_ids() -> list:
+    """All registered experiment ids, in paper order."""
+    return list(_MODULES.keys())
+
+
+def get_runner(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """The ``run`` callable for an experiment id."""
+    try:
+        return _MODULES[experiment_id].run
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from {experiment_ids()}"
+        ) from None
+
+
+def describe(experiment_id: str) -> str:
+    module = _MODULES[experiment_id]
+    suffix = (
+        ""
+        if experiment_id == module.EXPERIMENT_ID
+        else f" (shares the {module.EXPERIMENT_ID} driver)"
+    )
+    return f"{experiment_id}: {module.TITLE}{suffix}"

@@ -1,0 +1,83 @@
+"""CLI entry point: ``python -m repro.experiments`` / ``repro-experiments``.
+
+Examples
+--------
+List experiments::
+
+    python -m repro.experiments --list
+
+Run one at reduced (default) scale::
+
+    python -m repro.experiments fig7
+
+Scale up toward the paper's repetition counts::
+
+    python -m repro.experiments fig1 --rounds 100 --seeds 10
+    python -m repro.experiments fig13 --paper
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .registry import describe, experiment_ids, get_runner
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables/figures of the DCTCP+ paper (ICPP'15).",
+    )
+    parser.add_argument("experiment", nargs="?", help="experiment id (e.g. fig7)")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument("--rounds", type=int, default=None, help="incast rounds per seed")
+    parser.add_argument("--seeds", type=int, default=None, help="number of seeds")
+    parser.add_argument(
+        "--paper", action="store_true", help="paper-scale configuration (slow)"
+    )
+    parser.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    return parser
+
+
+def _kwargs_for(experiment: str, args: argparse.Namespace) -> dict:
+    kwargs: dict = {}
+    if experiment == "fig13":
+        if args.paper:
+            kwargs.update(n_queries=7000, n_background=7000, max_flow_bytes=None)
+        return kwargs
+    if experiment == "fig14":
+        return kwargs
+    if args.rounds is not None:
+        kwargs["rounds"] = args.rounds
+    if args.seeds is not None:
+        kwargs["seeds"] = tuple(range(1, args.seeds + 1))
+    if args.paper:
+        kwargs.setdefault("rounds", 100)
+        kwargs.setdefault("seeds", tuple(range(1, 11)))
+    return kwargs
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list or not args.experiment:
+        for experiment_id in experiment_ids():
+            print(describe(experiment_id))
+        return 0
+    runner = get_runner(args.experiment)
+    kwargs = _kwargs_for(args.experiment, args)
+    started = time.time()
+    result = runner(**kwargs)
+    elapsed = time.time() - started
+    if args.csv:
+        sys.stdout.write(result.to_csv())
+    else:
+        print(result.to_text())
+        print(f"\n[{elapsed:.1f}s wall clock]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""Table I — stack-state shares at N = 20, 40, 60.
+
+Columns reproduced:
+
+1. ``cwnd=2, ECE=1`` among all transmissions (DCTCP only): the paper's
+   "incapable" state — the window is at its floor while ECN feedback still
+   demands a decrease (58.3% / 50.2% / 10.4% in the paper);
+2. timeout share among transmissions for DCTCP and TCP;
+3. FLoss-TO and LAck-TO shares among all DCTCP timeouts (the paper finds
+   FLoss dominance grows with N: 35%->76%).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..metrics.cwnd_tracker import stack_state_shares
+from ..metrics.report import format_percent
+from .common import ExperimentResult, run_incast_point
+
+EXPERIMENT_ID = "table1"
+TITLE = "Timeout taxonomy and the cwnd-floor 'incapable' state"
+
+
+def run(
+    n_values: Sequence[int] = (20, 40, 60),
+    rounds: int = 20,
+    seeds: Sequence[int] = (1, 2, 3),
+) -> ExperimentResult:
+    rows = []
+    for n in n_values:
+        dctcp = run_incast_point("dctcp", n, rounds=rounds, seeds=seeds)
+        tcp = run_incast_point("tcp", n, rounds=rounds, seeds=seeds)
+        d = stack_state_shares(dctcp.flow_stats)
+        t = stack_state_shares(tcp.flow_stats)
+        rows.append(
+            [
+                f"N={n}",
+                format_percent(d.cwnd2_ece1_share),
+                format_percent(d.timeout_share),
+                format_percent(t.timeout_share),
+                format_percent(d.floss_share),
+                format_percent(d.lack_share),
+            ]
+        )
+    return ExperimentResult(
+        EXPERIMENT_ID,
+        TITLE,
+        [
+            "Flows",
+            "cwnd=2,ECE=1 (DCTCP)",
+            "Timeout (DCTCP)",
+            "Timeout (TCP)",
+            "FLoss-TO (DCTCP)",
+            "LAck-TO (DCTCP)",
+        ],
+        rows,
+        notes=[
+            "shares aggregated over every flow (paper traces one random flow)",
+            "expected shape: the incapable share is large at N=20-40 and both",
+            "timeout kinds appear, with FLoss-TO dominating as N grows",
+        ],
+    )

@@ -1,0 +1,83 @@
+"""Periodic switch-queue occupancy sampling.
+
+The paper "collect[s] the instant queue length every 100us on Switch 1"
+(Fig. 9's CDFs, Fig. 14's time series).  :class:`QueueSampler` re-creates
+that probe: a repeating simulator event records the bottleneck port's
+backlog into a plain list, post-processed with numpy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..net.port import OutputPort
+from ..sim.engine import Simulator
+from ..sim.units import US
+from .stats import cdf_points
+
+DEFAULT_SAMPLE_INTERVAL_NS = 100 * US
+
+
+class QueueSampler:
+    """Samples one port's queue occupancy at a fixed interval."""
+
+    __slots__ = ("sim", "port", "interval_ns", "times_ns", "occupancy_bytes", "_event", "running")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: OutputPort,
+        interval_ns: int = DEFAULT_SAMPLE_INTERVAL_NS,
+    ):
+        if interval_ns <= 0:
+            raise ValueError(f"sample interval must be positive, got {interval_ns}")
+        self.sim = sim
+        self.port = port
+        self.interval_ns = interval_ns
+        self.times_ns: List[int] = []
+        self.occupancy_bytes: List[int] = []
+        self._event = None
+        self.running = False
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._event = self.sim.schedule(0, self._tick)
+
+    def stop(self) -> None:
+        self.running = False
+        self.sim.cancel(self._event)
+        self._event = None
+
+    def _tick(self) -> None:
+        if not self.running:
+            return
+        self.times_ns.append(self.sim.now)
+        self.occupancy_bytes.append(self.port.backlog_bytes)
+        self._event = self.sim.schedule(self.interval_ns, self._tick)
+
+    # -- views ---------------------------------------------------------------
+    @property
+    def samples(self) -> np.ndarray:
+        return np.asarray(self.occupancy_bytes, dtype=np.float64)
+
+    def cdf(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Empirical CDF of queue occupancy (paper Fig. 9)."""
+        return cdf_points(self.occupancy_bytes)
+
+    def time_series_kb(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(time in ms, queue in KB) — the axes of the paper's Fig. 14."""
+        t = np.asarray(self.times_ns, dtype=np.float64) / 1e6
+        q = self.samples / 1024.0
+        return t, q
+
+    def mean_occupancy_bytes(self) -> float:
+        arr = self.samples
+        return float(arr.mean()) if arr.size else 0.0
+
+    def percentile_bytes(self, q: float) -> float:
+        arr = self.samples
+        return float(np.percentile(arr, q)) if arr.size else 0.0

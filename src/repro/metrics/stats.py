@@ -1,0 +1,78 @@
+"""Small numeric helpers on top of numpy (percentiles, CDFs, summaries).
+
+All experiment post-processing funnels through these so that every figure
+uses the same definitions (e.g. the same percentile interpolation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    if len(values) == 0:
+        return 0.0
+    return float(np.mean(np.asarray(values, dtype=np.float64)))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (linear interpolation); 0.0 when empty."""
+    if len(values) == 0:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def cdf_points(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as ``(sorted_values, cumulative_probability)``.
+
+    The probability at the i-th sorted value is ``(i + 1) / n``, so the
+    largest sample maps to exactly 1.0 — the convention used when plotting
+    the paper's Fig. 9 queue-length CDFs.
+    """
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    if arr.size == 0:
+        return arr, arr
+    probs = np.arange(1, arr.size + 1, dtype=np.float64) / arr.size
+    return arr, probs
+
+
+def cdf_at(values: Sequence[float], thresholds: Iterable[float]) -> List[float]:
+    """P(X <= t) for each threshold t (vectorized searchsorted)."""
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    out = []
+    for t in thresholds:
+        if arr.size == 0:
+            out.append(0.0)
+        else:
+            out.append(float(np.searchsorted(arr, t, side="right")) / arr.size)
+    return out
+
+
+@dataclass
+class Summary:
+    """mean / p95 / p99 triple — the statistics the paper's Fig. 13 reports."""
+
+    count: int
+    mean: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        if len(values) == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0)
+        arr = np.asarray(values, dtype=np.float64)
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            maximum=float(arr.max()),
+        )

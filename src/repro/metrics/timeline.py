@@ -1,0 +1,147 @@
+"""Continuous per-flow traces — the ``tcp_probe`` analogue.
+
+While :class:`~repro.metrics.flowstats.FlowStats` aggregates counters,
+:class:`FlowTracer` records *time series*: cwnd, ssthresh, slow_time and
+DCTCP+ state sampled at a fixed interval, plus discrete congestion events
+(timeouts, fast retransmits, ECN reductions) at their exact timestamps.
+This is what the paper's Kprobes tracing produced, and what you want when
+debugging a new protocol variant ("show me this flow's cwnd over the
+round").
+
+Usage::
+
+    tracer = FlowTracer(sim, sender, interval_ns=100_000)
+    tracer.start()
+    ...
+    t, cwnd = tracer.series("cwnd_mss")
+    tracer.stop()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..sim.engine import Simulator
+from ..sim.units import US
+from ..tcp.sender import TcpSender
+
+#: fields captured at every sample tick
+SAMPLED_FIELDS = ("cwnd_mss", "ssthresh_mss", "flight_mss", "slow_time_us", "state")
+
+_STATE_CODES = {"DCTCP_NORMAL": 0, "DCTCP_Time_Inc": 1, "DCTCP_Time_Des": 2}
+
+
+@dataclass
+class TraceEvent:
+    """A discrete protocol event observed on the traced flow."""
+
+    time_ns: int
+    kind: str  # "timeout" | "fast_retransmit" | "ecn_reduction"
+    detail: str = ""
+
+
+class FlowTracer:
+    """Samples one sender's stack variables on a fixed clock."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sender: TcpSender,
+        interval_ns: int = 100 * US,
+        max_samples: int = 1_000_000,
+    ):
+        if interval_ns <= 0:
+            raise ValueError("interval must be positive")
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        self.sim = sim
+        self.sender = sender
+        self.interval_ns = interval_ns
+        self.max_samples = max_samples
+        self.times_ns: List[int] = []
+        self.samples: Dict[str, List[float]] = {f: [] for f in SAMPLED_FIELDS}
+        self.events: List[TraceEvent] = []
+        self._event = None
+        self.running = False
+        self._last_counts = (0, 0, 0)
+
+    # -- control -----------------------------------------------------------
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._event = self.sim.schedule(0, self._tick)
+
+    def stop(self) -> None:
+        self.running = False
+        self.sim.cancel(self._event)
+        self._event = None
+
+    # -- sampling ----------------------------------------------------------
+    def _tick(self) -> None:
+        if not self.running:
+            return
+        sender = self.sender
+        mss = sender.config.mss
+        self.times_ns.append(self.sim.now)
+        self.samples["cwnd_mss"].append(sender.cwnd / mss)
+        self.samples["ssthresh_mss"].append(sender.ssthresh / mss)
+        self.samples["flight_mss"].append(sender.bytes_in_flight / mss)
+        machine = getattr(sender, "machine", None)
+        if machine is not None:
+            self.samples["slow_time_us"].append(machine.slow_time_ns / 1000.0)
+            self.samples["state"].append(_STATE_CODES.get(machine.state.value, -1))
+        else:
+            self.samples["slow_time_us"].append(0.0)
+            self.samples["state"].append(0)
+        self._capture_events()
+        if len(self.times_ns) < self.max_samples:
+            self._event = self.sim.schedule(self.interval_ns, self._tick)
+        else:
+            self.running = False
+
+    def _capture_events(self) -> None:
+        """Diff the sender's counters to emit discrete events."""
+        stats = self.sender.stats
+        timeouts = stats.timeout_count
+        frs = stats.fast_retransmits
+        reductions = getattr(self.sender, "ecn_reductions", 0)
+        last_to, last_fr, last_red = self._last_counts
+        now = self.sim.now
+        for _ in range(timeouts - last_to):
+            kind = stats.timeouts[last_to][1].value if last_to < len(stats.timeouts) else ""
+            self.events.append(TraceEvent(now, "timeout", kind))
+            last_to += 1
+        for _ in range(frs - last_fr):
+            self.events.append(TraceEvent(now, "fast_retransmit"))
+        for _ in range(reductions - last_red):
+            self.events.append(TraceEvent(now, "ecn_reduction"))
+        self._last_counts = (timeouts, frs, reductions)
+
+    # -- views ---------------------------------------------------------------
+    def series(self, field_name: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(time_ns, values) arrays for one sampled field."""
+        if field_name not in self.samples:
+            raise KeyError(
+                f"unknown field {field_name!r}; choose from {SAMPLED_FIELDS}"
+            )
+        return (
+            np.asarray(self.times_ns, dtype=np.int64),
+            np.asarray(self.samples[field_name], dtype=np.float64),
+        )
+
+    def events_of(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def to_csv(self) -> str:
+        """Render the sampled series as CSV (time in us, one row per tick)."""
+        lines = ["time_us," + ",".join(SAMPLED_FIELDS)]
+        for i, t in enumerate(self.times_ns):
+            row = [f"{t / 1000.0:.1f}"]
+            for field_name in SAMPLED_FIELDS:
+                row.append(f"{self.samples[field_name][i]:.3f}")
+            lines.append(",".join(row))
+        return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Network substrate: packets, links, queues, switches, hosts, topologies."""
+
+from .faults import FaultyLink, drop_data_once, drop_nth, make_lossy, random_loss
+from .host import Host
+from .link import Link
+from .node import Node
+from .packet import ACK_BYTES, DEFAULT_MSS, HEADER_BYTES, Packet, make_ack_packet, make_data_packet
+from .port import OutputPort
+from .queues import DEFAULT_BUFFER_BYTES, DEFAULT_ECN_THRESHOLD, DropTailQueue
+from .shared_buffer import SharedBufferSwitch
+from .switch import Switch
+from .topology import TopologyParams, TwoTierTree, build_dumbbell, build_two_tier
+
+__all__ = [
+    "Host",
+    "Link",
+    "Node",
+    "Packet",
+    "make_ack_packet",
+    "make_data_packet",
+    "ACK_BYTES",
+    "DEFAULT_MSS",
+    "HEADER_BYTES",
+    "OutputPort",
+    "DropTailQueue",
+    "DEFAULT_BUFFER_BYTES",
+    "DEFAULT_ECN_THRESHOLD",
+    "Switch",
+    "SharedBufferSwitch",
+    "FaultyLink",
+    "random_loss",
+    "drop_nth",
+    "drop_data_once",
+    "make_lossy",
+    "TopologyParams",
+    "TwoTierTree",
+    "build_dumbbell",
+    "build_two_tier",
+]

@@ -1,0 +1,96 @@
+"""Fault injection: lossy and scriptable links.
+
+Used by the failure-injection tests (and available to experiments) to
+exercise retransmission machinery deterministically: random i.i.d. loss,
+drop-the-nth-packet, and fully scripted drop decisions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, TYPE_CHECKING
+
+from ..sim.engine import Simulator
+from .link import Link
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import Node
+    from .packet import Packet
+
+#: decides whether a packet is dropped; receives (packet, index-of-packet)
+DropPolicy = Callable[["Packet", int], bool]
+
+
+class FaultyLink(Link):
+    """A link that may drop packets according to a policy.
+
+    Drops happen *after* serialization (the frame is corrupted on the
+    wire), which is also where they are invisible to the sender — exactly
+    the silent-loss behaviour that produces FLoss-TO.
+    """
+
+    __slots__ = ("policy", "offered_packets", "injected_drops")
+
+    def __init__(
+        self,
+        dst: "Node",
+        rate_bps: int,
+        prop_delay_ns: int,
+        policy: DropPolicy,
+    ):
+        super().__init__(dst, rate_bps, prop_delay_ns)
+        self.policy = policy
+        self.offered_packets = 0
+        self.injected_drops = 0
+
+    def propagate(self, sim: Simulator, packet: "Packet") -> None:
+        index = self.offered_packets
+        self.offered_packets += 1
+        if self.policy(packet, index):
+            self.injected_drops += 1
+            return
+        super().propagate(sim, packet)
+
+
+def random_loss(rng: random.Random, probability: float) -> DropPolicy:
+    """Drop each packet independently with the given probability."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+
+    def _policy(packet: "Packet", index: int) -> bool:
+        return rng.random() < probability
+
+    return _policy
+
+
+def drop_nth(*indices: int) -> DropPolicy:
+    """Drop exactly the packets at the given 0-based offered positions."""
+    targets = frozenset(indices)
+
+    def _policy(packet: "Packet", index: int) -> bool:
+        return index in targets
+
+    return _policy
+
+
+def drop_data_once(seq: int) -> DropPolicy:
+    """Drop the first data segment whose sequence number equals ``seq``."""
+    state = {"done": False}
+
+    def _policy(packet: "Packet", index: int) -> bool:
+        if not state["done"] and not packet.is_ack and packet.seq == seq:
+            state["done"] = True
+            return True
+        return False
+
+    return _policy
+
+
+def never() -> DropPolicy:
+    """A policy that drops nothing (useful as a default)."""
+    return lambda packet, index: False
+
+
+def make_lossy(link: Link, policy: DropPolicy) -> FaultyLink:
+    """Wrap an existing link's parameters into a FaultyLink (same endpoint)."""
+    return FaultyLink(link.dst, link.rate_bps, link.prop_delay_ns, policy)

@@ -1,0 +1,69 @@
+"""End host: a NIC egress queue plus a flow demultiplexer.
+
+Hosts do not route; every outgoing packet goes to the single access link.
+Incoming packets are demultiplexed by flow id to a registered endpoint
+(TCP sender or receiver).  A flow's sender and receiver live on different
+hosts, so both register the same flow id on their own host.
+
+The NIC queue is deliberately generous (default 1 MB, no ECN marking): the
+bottleneck in every experiment is a switch port, and a real host backs
+pressure into socket buffers rather than dropping on its own NIC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol
+
+from ..sim.engine import Simulator
+from .link import Link
+from .node import Node
+from .packet import Packet
+from .port import OutputPort
+from .queues import DropTailQueue
+
+DEFAULT_NIC_BUFFER_BYTES = 1024 * 1024
+
+
+class FlowEndpoint(Protocol):
+    """Anything that consumes packets for one flow (sender or receiver)."""
+
+    def on_packet(self, packet: Packet) -> None: ...
+
+
+class Host(Node):
+    """A server in the testbed (aggregator or worker)."""
+
+    __slots__ = ("nic", "_flows", "undeliverable_packets")
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        super().__init__(sim, name)
+        self.nic: Optional[OutputPort] = None
+        self._flows: Dict[int, FlowEndpoint] = {}
+        self.undeliverable_packets = 0
+
+    def attach_link(self, link: Link, nic_buffer_bytes: int = DEFAULT_NIC_BUFFER_BYTES) -> None:
+        """Connect the host's NIC to its access link."""
+        queue = DropTailQueue(nic_buffer_bytes, ecn_threshold_bytes=None)
+        self.nic = OutputPort(self.sim, link, queue, name=f"{self.name}:nic")
+
+    def register_flow(self, flow_id: int, endpoint: FlowEndpoint) -> None:
+        """Bind incoming packets of ``flow_id`` to ``endpoint``."""
+        if flow_id in self._flows:
+            raise ValueError(f"flow {flow_id} already registered on {self.name}")
+        self._flows[flow_id] = endpoint
+
+    def unregister_flow(self, flow_id: int) -> None:
+        self._flows.pop(flow_id, None)
+
+    def send(self, packet: Packet) -> bool:
+        """Transmit through the NIC; returns False on NIC-queue drop."""
+        if self.nic is None:
+            raise RuntimeError(f"host {self.name} has no attached link")
+        return self.nic.send(packet)
+
+    def receive(self, packet: Packet) -> None:
+        endpoint = self._flows.get(packet.flow_id)
+        if endpoint is None:
+            self.undeliverable_packets += 1
+            return
+        endpoint.on_packet(packet)

@@ -1,0 +1,58 @@
+"""Point-to-point links.
+
+A :class:`Link` is **unidirectional**: it carries frames from one node's
+output port to a destination node, modelling serialization delay (frame
+bits at the link rate) followed by propagation delay.  Full-duplex cables
+are modelled as two independent ``Link`` objects, which matches how the
+experiments use them (data one way, ACKs the other, no interference).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sim.engine import Simulator
+from ..sim.units import GBPS, transmission_time_ns
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import Node
+    from .packet import Packet
+
+#: Paper testbed: GbE links, RTT ~100 us across the 2-tier tree.
+DEFAULT_RATE_BPS = GBPS
+DEFAULT_PROP_DELAY_NS = 12_000  # 12 us per hop -> ~100 us unloaded RTT
+
+
+class Link:
+    """One direction of a cable: serialization + propagation to ``dst``."""
+
+    __slots__ = ("rate_bps", "prop_delay_ns", "dst", "delivered_packets", "delivered_bytes")
+
+    def __init__(
+        self,
+        dst: "Node",
+        rate_bps: int = DEFAULT_RATE_BPS,
+        prop_delay_ns: int = DEFAULT_PROP_DELAY_NS,
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        if prop_delay_ns < 0:
+            raise ValueError(f"propagation delay must be >= 0, got {prop_delay_ns}")
+        self.rate_bps = rate_bps
+        self.prop_delay_ns = prop_delay_ns
+        self.dst = dst
+        self.delivered_packets = 0
+        self.delivered_bytes = 0
+
+    def serialization_delay(self, packet: "Packet") -> int:
+        """Time to clock ``packet`` onto the wire, in nanoseconds."""
+        return transmission_time_ns(packet.wire_bytes, self.rate_bps)
+
+    def propagate(self, sim: Simulator, packet: "Packet") -> None:
+        """Deliver ``packet`` to the far end after the propagation delay.
+
+        Called by the output port at the instant serialization completes.
+        """
+        self.delivered_packets += 1
+        self.delivered_bytes += packet.wire_bytes
+        sim.schedule(self.prop_delay_ns, self.dst.receive, packet)

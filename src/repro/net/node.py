@@ -1,0 +1,27 @@
+"""Base class for network nodes (hosts and switches)."""
+
+from __future__ import annotations
+
+from itertools import count
+
+from ..sim.engine import Simulator
+from .packet import Packet
+
+_node_ids = count()
+
+
+class Node:
+    """Anything with an address that can receive packets."""
+
+    __slots__ = ("sim", "node_id", "name")
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.node_id = next(_node_ids)
+        self.name = name or f"node{self.node_id}"
+
+    def receive(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name}, id={self.node_id})"

@@ -1,0 +1,137 @@
+"""Packet model.
+
+One :class:`Packet` instance models a single frame on the wire.  Packets
+are the highest-churn objects in the simulator, so the class uses
+``__slots__`` and plain attributes (no dataclass machinery in the hot
+path).
+
+ECN field semantics follow RFC 3168 naming:
+
+- ``ect``  — sender marked the packet ECN-capable (ECT codepoint).
+- ``ce``   — a switch changed ECT to CE (Congestion Experienced).
+- ``ece``  — the receiver echoes CE back to the sender in ACKs (ECN-Echo).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+#: Wire size of a full-MSS data frame: 1460 B payload + 40 B TCP/IP headers.
+DEFAULT_MSS = 1460
+HEADER_BYTES = 40
+#: Wire size of a pure ACK (headers only, padded to minimum Ethernet frame).
+ACK_BYTES = 64
+
+_packet_ids = count()
+
+
+class Packet:
+    """A TCP segment (data or pure ACK) travelling through the network."""
+
+    __slots__ = (
+        "packet_id",
+        "flow_id",
+        "src",
+        "dst",
+        "seq",
+        "payload_len",
+        "is_ack",
+        "ack_seq",
+        "ect",
+        "ce",
+        "ece",
+        "wire_bytes",
+        "sent_time",
+        "is_retransmit",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: int,
+        dst: int,
+        *,
+        seq: int = 0,
+        payload_len: int = 0,
+        is_ack: bool = False,
+        ack_seq: int = 0,
+        ect: bool = False,
+        ce: bool = False,
+        ece: bool = False,
+        wire_bytes: int = 0,
+        is_retransmit: bool = False,
+    ):
+        self.packet_id = next(_packet_ids)
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.payload_len = payload_len
+        self.is_ack = is_ack
+        self.ack_seq = ack_seq
+        self.ect = ect
+        self.ce = ce
+        self.ece = ece
+        self.wire_bytes = wire_bytes if wire_bytes else (payload_len + HEADER_BYTES)
+        self.sent_time = -1
+        self.is_retransmit = is_retransmit
+
+    @property
+    def end_seq(self) -> int:
+        """Sequence number one past the last payload byte."""
+        return self.seq + self.payload_len
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.is_ack:
+            flags = "E" if self.ece else "-"
+            return (
+                f"Ack(flow={self.flow_id}, ack={self.ack_seq}, {flags}, "
+                f"{self.src}->{self.dst})"
+            )
+        flags = ("T" if self.ect else "-") + ("C" if self.ce else "-")
+        return (
+            f"Data(flow={self.flow_id}, seq={self.seq}+{self.payload_len}, {flags}, "
+            f"{self.src}->{self.dst})"
+        )
+
+
+def make_data_packet(
+    flow_id: int,
+    src: int,
+    dst: int,
+    seq: int,
+    payload_len: int,
+    *,
+    ect: bool = False,
+    is_retransmit: bool = False,
+) -> Packet:
+    """Build a data segment (payload + 40 B header on the wire)."""
+    return Packet(
+        flow_id,
+        src,
+        dst,
+        seq=seq,
+        payload_len=payload_len,
+        ect=ect,
+        is_retransmit=is_retransmit,
+    )
+
+
+def make_ack_packet(
+    flow_id: int,
+    src: int,
+    dst: int,
+    ack_seq: int,
+    *,
+    ece: bool = False,
+) -> Packet:
+    """Build a pure cumulative ACK (64 B on the wire)."""
+    return Packet(
+        flow_id,
+        src,
+        dst,
+        is_ack=True,
+        ack_seq=ack_seq,
+        ece=ece,
+        wire_bytes=ACK_BYTES,
+    )

@@ -1,0 +1,74 @@
+"""Output port: a drop-tail queue drained onto a link.
+
+The port implements the standard store-and-forward egress pump: when a
+packet is admitted to an idle port it begins serializing immediately; when
+serialization finishes the frame is handed to the link for propagation and
+the next queued frame (if any) starts serializing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.engine import Simulator
+from .link import Link
+from .packet import Packet
+from .queues import DropTailQueue
+
+
+class OutputPort:
+    """Queue + transmitter for one egress direction.
+
+    Parameters
+    ----------
+    sim:
+        The simulator (owns the clock the pump runs on).
+    link:
+        The outgoing :class:`Link`.
+    queue:
+        Byte-accounted FIFO; ECN marking behaviour is configured there.
+    name:
+        Identifier used by instrumentation (e.g. ``"switch1->aggregator"``).
+    """
+
+    __slots__ = ("sim", "link", "queue", "name", "_busy", "tx_packets", "tx_bytes")
+
+    def __init__(self, sim: Simulator, link: Link, queue: DropTailQueue, name: str = ""):
+        self.sim = sim
+        self.link = link
+        self.queue = queue
+        self.name = name
+        self._busy = False
+        self.tx_packets = 0
+        self.tx_bytes = 0
+
+    def send(self, packet: Packet) -> bool:
+        """Admit ``packet`` to the egress queue; start the pump if idle.
+
+        Returns False when the queue dropped the packet.
+        """
+        if not self.queue.enqueue(packet):
+            return False
+        if not self._busy:
+            self._start_next()
+        return True
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Bytes currently waiting (excludes the frame on the wire)."""
+        return self.queue.occupancy_bytes
+
+    def _start_next(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        delay = self.link.serialization_delay(packet)
+        self.sim.schedule(delay, self._finish_tx, packet)
+
+    def _finish_tx(self, packet: Packet) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += packet.wire_bytes
+        self.link.propagate(self.sim, packet)
+        self._start_next()

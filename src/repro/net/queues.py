@@ -1,0 +1,119 @@
+"""Output-port queueing: drop-tail FIFO with byte accounting + ECN marking.
+
+The switch model in the paper's testbed uses a **static** per-port buffer
+(128 KB) with drop-tail and DCTCP-style ECN marking: packets are marked CE
+on *enqueue* when the instantaneous queue occupancy exceeds the threshold
+``K`` (32 KB).  Marking happens before the drop decision is taken on the
+incoming packet, mirroring a real egress pipeline (mark, then try to admit).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from .packet import Packet
+
+#: Paper defaults (Section III / VI.A).
+DEFAULT_BUFFER_BYTES = 128 * 1024
+DEFAULT_ECN_THRESHOLD = 32 * 1024
+
+
+class DropTailQueue:
+    """FIFO byte-limited queue with optional instantaneous ECN marking.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Static buffer size; a packet that would push occupancy past this is
+        dropped (drop-tail).
+    ecn_threshold_bytes:
+        Mark incoming ECT packets CE when current occupancy (before the new
+        packet is admitted) is at or above this threshold.  ``None`` disables
+        marking (plain drop-tail, used for host NIC queues).
+    on_drop / on_mark:
+        Optional instrumentation callbacks invoked with the packet.
+    """
+
+    __slots__ = (
+        "capacity_bytes",
+        "ecn_threshold_bytes",
+        "_queue",
+        "occupancy_bytes",
+        "enqueued_packets",
+        "dropped_packets",
+        "marked_packets",
+        "enqueued_bytes",
+        "dropped_bytes",
+        "on_drop",
+        "on_mark",
+    )
+
+    def __init__(
+        self,
+        capacity_bytes: int = DEFAULT_BUFFER_BYTES,
+        ecn_threshold_bytes: Optional[int] = DEFAULT_ECN_THRESHOLD,
+        on_drop: Optional[Callable[[Packet], None]] = None,
+        on_mark: Optional[Callable[[Packet], None]] = None,
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError(f"queue capacity must be positive, got {capacity_bytes}")
+        if ecn_threshold_bytes is not None and ecn_threshold_bytes < 0:
+            raise ValueError(
+                f"ECN threshold must be non-negative, got {ecn_threshold_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self._queue: Deque[Packet] = deque()
+        self.occupancy_bytes = 0
+        self.enqueued_packets = 0
+        self.dropped_packets = 0
+        self.marked_packets = 0
+        self.enqueued_bytes = 0
+        self.dropped_bytes = 0
+        self.on_drop = on_drop
+        self.on_mark = on_mark
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Admit ``packet``; returns False (and counts a drop) on overflow.
+
+        ECN marking uses the occupancy *including* the queued bytes already
+        present (instantaneous queue length seen by the arriving packet), the
+        same rule as the DCTCP switch: mark if ``queue length > K``.
+        """
+        if (
+            self.ecn_threshold_bytes is not None
+            and packet.ect
+            and self.occupancy_bytes > self.ecn_threshold_bytes
+        ):
+            if not packet.ce:
+                packet.ce = True
+                self.marked_packets += 1
+                if self.on_mark is not None:
+                    self.on_mark(packet)
+        if self.occupancy_bytes + packet.wire_bytes > self.capacity_bytes:
+            self.dropped_packets += 1
+            self.dropped_bytes += packet.wire_bytes
+            if self.on_drop is not None:
+                self.on_drop(packet)
+            return False
+        self._queue.append(packet)
+        self.occupancy_bytes += packet.wire_bytes
+        self.enqueued_packets += 1
+        self.enqueued_bytes += packet.wire_bytes
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        """Remove and return the head-of-line packet (None when empty)."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self.occupancy_bytes -= packet.wire_bytes
+        return packet
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue

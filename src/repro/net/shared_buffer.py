@@ -1,0 +1,114 @@
+"""Dynamically shared switch buffering.
+
+The paper's testbed switches use *static* per-port buffers (every port
+owns 128 KB outright), and the original DCTCP paper points out that
+incast severity depends on this choice: a dynamically shared pool lets a
+single congested port absorb a larger burst at the expense of isolation.
+:class:`SharedBufferSwitch` models the shared-pool variant so that the
+choice can be studied (see ``benchmarks/bench_extension_shared_buffer``).
+
+Admission rule per incoming packet destined to port *p*:
+
+1. the *pool* occupancy (sum over all ports) must stay within
+   ``shared_pool_bytes``;
+2. optionally, port *p* itself must stay within ``per_port_cap_bytes``
+   (a simple static cap preventing total monopolization).
+
+ECN marking is unchanged: instantaneous per-port queue vs threshold K.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.engine import Simulator
+from .link import Link
+from .node import Node
+from .packet import Packet
+from .port import OutputPort
+from .queues import DEFAULT_ECN_THRESHOLD, DropTailQueue
+
+
+class _PooledQueue(DropTailQueue):
+    """A port queue whose admission also checks the switch-wide pool."""
+
+    __slots__ = ("switch_ref",)
+
+    def __init__(self, capacity_bytes, ecn_threshold_bytes, switch_ref):
+        super().__init__(capacity_bytes, ecn_threshold_bytes)
+        self.switch_ref = switch_ref
+
+    def enqueue(self, packet: Packet) -> bool:
+        pool = self.switch_ref
+        if pool.pool_occupancy_bytes + packet.wire_bytes > pool.shared_pool_bytes:
+            self.dropped_packets += 1
+            self.dropped_bytes += packet.wire_bytes
+            pool.pool_drops += 1
+            if self.on_drop is not None:
+                self.on_drop(packet)
+            return False
+        return super().enqueue(packet)
+
+
+class SharedBufferSwitch(Node):
+    """Output-queued switch with a dynamically shared buffer pool."""
+
+    __slots__ = (
+        "ports",
+        "_routes",
+        "shared_pool_bytes",
+        "per_port_cap_bytes",
+        "ecn_threshold_bytes",
+        "pool_drops",
+        "unroutable_drops",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "",
+        shared_pool_bytes: int = 512 * 1024,
+        per_port_cap_bytes: Optional[int] = None,
+        ecn_threshold_bytes: Optional[int] = DEFAULT_ECN_THRESHOLD,
+    ):
+        super().__init__(sim, name)
+        if shared_pool_bytes <= 0:
+            raise ValueError("shared pool must be positive")
+        self.ports: List[OutputPort] = []
+        self._routes = {}
+        self.shared_pool_bytes = shared_pool_bytes
+        self.per_port_cap_bytes = per_port_cap_bytes
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self.pool_drops = 0
+        self.unroutable_drops = 0
+
+    @property
+    def pool_occupancy_bytes(self) -> int:
+        """Bytes currently buffered across every port."""
+        return sum(port.queue.occupancy_bytes for port in self.ports)
+
+    def add_port(self, link: Link, name: str = "") -> OutputPort:
+        per_port_cap = (
+            self.per_port_cap_bytes
+            if self.per_port_cap_bytes is not None
+            else self.shared_pool_bytes
+        )
+        queue = _PooledQueue(per_port_cap, self.ecn_threshold_bytes, self)
+        port = OutputPort(self.sim, link, queue, name or f"{self.name}:p{len(self.ports)}")
+        self.ports.append(port)
+        return port
+
+    def add_route(self, dst_node_id: int, port: OutputPort) -> None:
+        if port not in self.ports:
+            raise ValueError(f"port {port.name!r} does not belong to switch {self.name!r}")
+        self._routes[dst_node_id] = port
+
+    def route_for(self, dst_node_id: int):
+        return self._routes.get(dst_node_id)
+
+    def receive(self, packet: Packet) -> None:
+        port = self._routes.get(packet.dst)
+        if port is None:
+            self.unroutable_drops += 1
+            return
+        port.send(packet)

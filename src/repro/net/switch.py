@@ -1,0 +1,65 @@
+"""Output-queued switch with static per-port buffers.
+
+Forwarding is destination-based: the topology builder installs a route for
+every reachable host, mapping its node id to one of this switch's output
+ports.  Each port owns a *static* (not shared) buffer, matching the paper's
+"static 128KB shared buffer in each port" testbed switches: the buffer is
+statically partitioned per port, so one congested port cannot borrow from
+others.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.engine import Simulator
+from .link import Link
+from .node import Node
+from .packet import Packet
+from .port import OutputPort
+from .queues import DEFAULT_BUFFER_BYTES, DEFAULT_ECN_THRESHOLD, DropTailQueue
+
+
+class Switch(Node):
+    """ECN-capable output-queued switch."""
+
+    __slots__ = ("ports", "_routes", "buffer_bytes", "ecn_threshold_bytes", "unroutable_drops")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "",
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+        ecn_threshold_bytes: Optional[int] = DEFAULT_ECN_THRESHOLD,
+    ):
+        super().__init__(sim, name)
+        self.ports: List[OutputPort] = []
+        self._routes: Dict[int, OutputPort] = {}
+        self.buffer_bytes = buffer_bytes
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self.unroutable_drops = 0
+
+    def add_port(self, link: Link, name: str = "") -> OutputPort:
+        """Attach an egress link behind a fresh static buffer."""
+        queue = DropTailQueue(self.buffer_bytes, self.ecn_threshold_bytes)
+        port = OutputPort(self.sim, link, queue, name or f"{self.name}:p{len(self.ports)}")
+        self.ports.append(port)
+        return port
+
+    def add_route(self, dst_node_id: int, port: OutputPort) -> None:
+        """Install a destination-based forwarding entry."""
+        if port not in self.ports:
+            raise ValueError(f"port {port.name!r} does not belong to switch {self.name!r}")
+        self._routes[dst_node_id] = port
+
+    def route_for(self, dst_node_id: int) -> Optional[OutputPort]:
+        return self._routes.get(dst_node_id)
+
+    def receive(self, packet: Packet) -> None:
+        port = self._routes.get(packet.dst)
+        if port is None:
+            # Mirrors a real switch's behaviour for an unknown unicast
+            # destination with learning disabled: count and drop.
+            self.unroutable_drops += 1
+            return
+        port.send(packet)

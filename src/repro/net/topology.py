@@ -1,0 +1,206 @@
+"""Topology builders.
+
+:func:`build_two_tier` reproduces the paper's testbed (Fig. 5 / Fig. 10): a
+canonical tree-based 2-tier topology.  The aggregator hangs off the root
+switch (*Switch 1*); worker servers are spread round-robin across leaf
+switches that uplink to the root.  The bottleneck in every incast
+experiment is the root switch's port toward the aggregator.
+
+All links are 1 Gbps with a 12 µs propagation delay by default, giving an
+unloaded worker→aggregator→worker RTT of ~100 µs — the paper's baseline
+RTT, and the ``D`` in its pipeline-capacity calculation
+``C·D + B ≈ 140.5 KB``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..sim.engine import Simulator
+from ..sim.units import GBPS, transmission_time_ns
+from .host import Host
+from .link import DEFAULT_PROP_DELAY_NS, Link
+from .packet import ACK_BYTES, DEFAULT_MSS, HEADER_BYTES
+from .port import OutputPort
+from .queues import DEFAULT_BUFFER_BYTES, DEFAULT_ECN_THRESHOLD
+from .switch import Switch
+
+
+@dataclass
+class TopologyParams:
+    """Knobs shared by all links/switches of a built topology."""
+
+    link_rate_bps: int = GBPS
+    prop_delay_ns: int = DEFAULT_PROP_DELAY_NS
+    buffer_bytes: int = DEFAULT_BUFFER_BYTES
+    ecn_threshold_bytes: Optional[int] = DEFAULT_ECN_THRESHOLD
+    n_servers: int = 9
+    n_leaf_switches: int = 2
+
+
+@dataclass
+class TwoTierTree:
+    """The built testbed: handles to every node plus convenience queries."""
+
+    sim: Simulator
+    params: TopologyParams
+    root: Switch
+    leaves: List[Switch]
+    aggregator: Host
+    servers: List[Host]
+    #: Root-switch egress port toward the aggregator — the incast bottleneck
+    #: (the queue sampled in Fig. 9 / Fig. 14).
+    bottleneck_port: OutputPort
+    server_leaf: List[int] = field(default_factory=list)
+
+    def hops_between(self, a: Host, b: Host) -> int:
+        """Number of links on the path from host ``a`` to host ``b``."""
+        if a is b:
+            return 0
+        hops_a = 1 if a is self.aggregator else 2  # to root
+        hops_b = 1 if b is self.aggregator else 2
+        if a is not self.aggregator and b is not self.aggregator:
+            ia = self.servers.index(a)
+            ib = self.servers.index(b)
+            if self.server_leaf[ia] == self.server_leaf[ib]:
+                return 2  # up to the shared leaf and back down
+        return hops_a + hops_b
+
+    def baseline_rtt_ns(self, payload_bytes: int = DEFAULT_MSS) -> int:
+        """Unloaded data+ACK round trip between a server and the aggregator.
+
+        Counts propagation and store-and-forward serialization on every hop
+        for a full data segment one way and a pure ACK back.  This is the
+        quantity the paper recommends for DCTCP+'s ``backoff_time_unit``.
+        """
+        hops = self.hops_between(self.servers[0], self.aggregator)
+        rate = self.params.link_rate_bps
+        data_ser = transmission_time_ns(payload_bytes + HEADER_BYTES, rate)
+        ack_ser = transmission_time_ns(ACK_BYTES, rate)
+        one_way_prop = hops * self.params.prop_delay_ns
+        return 2 * one_way_prop + hops * (data_ser + ack_ser)
+
+    @property
+    def pipeline_capacity_bytes(self) -> float:
+        """The paper's ``C × D + B`` for the bottleneck port."""
+        c_times_d = self.params.link_rate_bps / 8 * (self.baseline_rtt_ns() / 1e9)
+        return c_times_d + self.params.buffer_bytes
+
+    @property
+    def all_hosts(self) -> List[Host]:
+        return [self.aggregator, *self.servers]
+
+
+def _attach_host(
+    sim: Simulator, switch: Switch, host: Host, params: TopologyParams
+) -> OutputPort:
+    """Wire ``host`` to ``switch`` with a full-duplex cable; return the
+    switch-side egress port toward the host."""
+    up = Link(switch, params.link_rate_bps, params.prop_delay_ns)
+    host.attach_link(up)
+    down = Link(host, params.link_rate_bps, params.prop_delay_ns)
+    port = switch.add_port(down, name=f"{switch.name}->{host.name}")
+    switch.add_route(host.node_id, port)
+    return port
+
+
+def _connect_switches(a: Switch, b: Switch, params: TopologyParams) -> tuple:
+    """Full-duplex cable between two switches; returns (a->b, b->a) ports."""
+    ab = a.add_port(Link(b, params.link_rate_bps, params.prop_delay_ns), name=f"{a.name}->{b.name}")
+    ba = b.add_port(Link(a, params.link_rate_bps, params.prop_delay_ns), name=f"{b.name}->{a.name}")
+    return ab, ba
+
+
+def build_two_tier(sim: Simulator, params: Optional[TopologyParams] = None) -> TwoTierTree:
+    """Build the paper's 2-tier testbed tree.
+
+    Layout (defaults): 1 aggregator on the root switch; 9 servers spread
+    round-robin across 2 leaf switches.
+    """
+    params = params or TopologyParams()
+    if params.n_servers < 1:
+        raise ValueError("need at least one server")
+    if params.n_leaf_switches < 1:
+        raise ValueError("need at least one leaf switch")
+
+    root = Switch(
+        sim, "switch1", params.buffer_bytes, params.ecn_threshold_bytes
+    )
+    leaves = [
+        Switch(sim, f"switch{i + 2}", params.buffer_bytes, params.ecn_threshold_bytes)
+        for i in range(params.n_leaf_switches)
+    ]
+    aggregator = Host(sim, "aggregator")
+    bottleneck_port = _attach_host(sim, root, aggregator, params)
+
+    root_to_leaf = []
+    leaf_to_root = []
+    for leaf in leaves:
+        down_port, up_port = _connect_switches(root, leaf, params)
+        root_to_leaf.append(down_port)
+        leaf_to_root.append(up_port)
+
+    servers: List[Host] = []
+    server_leaf: List[int] = []
+    for i in range(params.n_servers):
+        leaf_idx = i % params.n_leaf_switches
+        server = Host(sim, f"server{i + 1}")
+        _attach_host(sim, leaves[leaf_idx], server, params)
+        servers.append(server)
+        server_leaf.append(leaf_idx)
+        # Root forwards traffic for this server down the right leaf uplink.
+        root.add_route(server.node_id, root_to_leaf[leaf_idx])
+
+    # Leaf switches: anything not local goes up to the root.
+    for leaf_idx, leaf in enumerate(leaves):
+        leaf.add_route(aggregator.node_id, leaf_to_root[leaf_idx])
+        for i, server in enumerate(servers):
+            if server_leaf[i] != leaf_idx:
+                leaf.add_route(server.node_id, leaf_to_root[leaf_idx])
+
+    return TwoTierTree(
+        sim=sim,
+        params=params,
+        root=root,
+        leaves=leaves,
+        aggregator=aggregator,
+        servers=servers,
+        bottleneck_port=bottleneck_port,
+        server_leaf=server_leaf,
+    )
+
+
+def build_dumbbell(
+    sim: Simulator,
+    n_senders: int = 2,
+    params: Optional[TopologyParams] = None,
+) -> TwoTierTree:
+    """Single-switch star used by unit tests: N senders, one receiver.
+
+    Returned as a :class:`TwoTierTree` with zero leaf switches collapsed
+    into direct root attachment, so test code can reuse the same accessors
+    (``aggregator``, ``servers``, ``bottleneck_port``).
+    """
+    params = params or TopologyParams()
+    root = Switch(sim, "switch1", params.buffer_bytes, params.ecn_threshold_bytes)
+    aggregator = Host(sim, "receiver")
+    bottleneck_port = _attach_host(sim, root, aggregator, params)
+    servers = []
+    for i in range(n_senders):
+        server = Host(sim, f"sender{i + 1}")
+        _attach_host(sim, root, server, params)
+        servers.append(server)
+    tree = TwoTierTree(
+        sim=sim,
+        params=params,
+        root=root,
+        leaves=[],
+        aggregator=aggregator,
+        servers=servers,
+        bottleneck_port=bottleneck_port,
+        server_leaf=[0] * n_senders,
+    )
+    # Direct attachment: one hop each way.
+    tree.hops_between = lambda a, b: 0 if a is b else 2  # type: ignore[method-assign]
+    return tree

@@ -1,0 +1,17 @@
+"""Discrete-event simulation engine (clock, events, RNG streams)."""
+
+from .engine import SimulationError, Simulator
+from .events import Event, EventQueue
+from .rng import RngRegistry, make_rng, uniform_time
+from . import units
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "Event",
+    "EventQueue",
+    "RngRegistry",
+    "make_rng",
+    "uniform_time",
+    "units",
+]

@@ -1,0 +1,107 @@
+"""Event handles and the binary-heap event queue.
+
+The queue is the hottest data structure in the simulator, so it stays
+minimal: a ``heapq`` of ``Event`` objects ordered by ``(time, seq)``.
+Cancellation is *lazy* — a cancelled event stays in the heap and is skipped
+when popped — which keeps ``cancel()`` O(1) and avoids heap surgery. Timer
+churn in TCP (every ACK restarts the retransmission timer) makes cheap
+cancellation essential.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, seq)``; ``seq`` is a monotonically
+    increasing tie-breaker, so two events at the same timestamp fire in the
+    order they were scheduled (deterministic FIFO within a timestamp).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+        # Drop references eagerly so cancelled timers don't pin senders,
+        # packets, etc. in memory while they wait to be popped.
+        self.callback = _noop
+        self.args = ()
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time}, seq={self.seq}, {state})"
+
+
+def _noop(*_args: Any) -> None:
+    """Placeholder callback installed when an event is cancelled."""
+
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`Event` with lazy cancellation."""
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events."""
+        return self._live
+
+    def push(self, time: int, callback: Callable[..., None], args: tuple = ()) -> Event:
+        """Schedule ``callback(*args)`` at ``time``; returns a cancellable handle."""
+        ev = Event(time, self._seq, callback, args)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest live event, skipping cancelled ones.
+
+        Returns ``None`` when the queue holds no live events.
+        """
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
+            if not ev.cancelled:
+                self._live -= 1
+                return ev
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the earliest live event, or ``None`` if empty."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def clear(self) -> None:
+        """Drop all events."""
+        self._heap.clear()
+        self._live = 0

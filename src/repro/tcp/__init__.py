@@ -1,0 +1,25 @@
+"""Transport substrate: TCP New Reno, DCTCP, D2TCP, RTT estimation, timeouts."""
+
+from .config import TcpConfig
+from .dctcp import DctcpSender
+from .delack import DelayedAckReceiver
+from .receiver import TcpReceiver
+from .rtt import RttEstimator
+from .sender import TcpSender
+from .timeouts import TimeoutKind, classify_timeout
+
+# NOTE: the deadline-aware senders live in repro.tcp.d2tcp but are *not*
+# re-exported here: they depend on repro.core (the DCTCP+ machinery), and
+# importing them eagerly would make repro.tcp <-> repro.core circular.
+# Import them as `from repro.tcp.d2tcp import D2tcpSender, D2tcpPlusSender`.
+
+__all__ = [
+    "TcpConfig",
+    "TcpSender",
+    "DctcpSender",
+    "TcpReceiver",
+    "DelayedAckReceiver",
+    "RttEstimator",
+    "TimeoutKind",
+    "classify_timeout",
+]

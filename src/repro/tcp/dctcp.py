@@ -1,0 +1,108 @@
+"""DCTCP congestion control (Alizadeh et al., SIGCOMM 2010).
+
+Extends the New Reno sender with the two DCTCP equations the paper builds
+on:
+
+    alpha <- (1 - g) * alpha + g * F          (Eq. 1)
+    W     <- W * (1 - alpha / 2),  W >= floor (Eq. 2)
+
+``F`` is the fraction of ACKed bytes whose ACKs carried ECN-Echo during
+the last window of data (~one RTT).  The window reduction is applied at
+most once per window, at the window boundary, iff any mark was seen in
+that window — the behaviour of the reference Linux implementation.
+
+Loss handling (fast retransmit, RTO) is inherited unchanged from New Reno:
+DCTCP reacts to packet loss exactly like TCP.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..metrics.flowstats import FlowStats
+from ..net.host import Host
+from ..sim.engine import Simulator
+from .config import TcpConfig
+from .sender import TcpSender
+
+
+class DctcpSender(TcpSender):
+    """TCP New Reno + DCTCP ECN reaction."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        dst_node_id: int,
+        flow_id: int,
+        config: Optional[TcpConfig] = None,
+        stats: Optional[FlowStats] = None,
+        on_complete: Optional[Callable[[TcpSender], None]] = None,
+    ):
+        config = (config or TcpConfig()).with_overrides(ecn_enabled=True)
+        super().__init__(sim, host, dst_node_id, flow_id, config, stats, on_complete)
+        self.alpha: float = config.dctcp_alpha_init
+        self._win_end_seq = 0
+        self._win_bytes_acked = 0
+        self._win_bytes_marked = 0
+        self._win_saw_ece = False
+        #: number of times Eq. (2) was applied (instrumentation)
+        self.ecn_reductions = 0
+        #: number of times Eq. (2) wanted to reduce but cwnd was already at
+        #: the floor — the "incapable" case of Section IV.B.
+        self.floor_limited_reductions = 0
+
+    # -- DCTCP marked-fraction bookkeeping --------------------------------------
+    def _cc_on_ack(self, newly_acked: int, ece: bool) -> None:
+        self._win_bytes_acked += newly_acked
+        if ece:
+            self._win_bytes_marked += newly_acked
+            self._win_saw_ece = True
+        super()._cc_on_ack(newly_acked, ece)
+        if self.snd_una >= self._win_end_seq:
+            self._end_of_window()
+
+    def _end_of_window(self) -> None:
+        cfg = self.config
+        if self._win_bytes_acked > 0:
+            fraction = self._win_bytes_marked / self._win_bytes_acked
+            self.alpha = (1.0 - cfg.dctcp_g) * self.alpha + cfg.dctcp_g * fraction
+        if self._win_saw_ece:
+            floor = cfg.min_cwnd_bytes
+            # Kernel semantics: the multiplicative decrease is computed in
+            # integer packets (floor division), so cwnd=2 with any marking
+            # drops to the next integer below 2 - alpha, i.e. straight to
+            # the floor.
+            penalty = self._reduction_penalty()
+            target = self._quantize_down(self.cwnd * (1.0 - penalty / 2.0), floor)
+            if target <= floor and self.cwnd <= floor:
+                # Eq. (2) clamps: the sender *cannot* slow down further
+                # despite ECN feedback (root cause #1 in the paper).
+                self.floor_limited_reductions += 1
+            new_cwnd = target
+            if new_cwnd < self.cwnd:
+                self.ecn_reductions += 1
+            self.cwnd = new_cwnd
+            self.ssthresh = max(new_cwnd, floor)
+            self._ca_bytes_acked = 0.0
+        self._win_end_seq = self.snd_nxt
+        self._win_bytes_acked = 0
+        self._win_bytes_marked = 0
+        self._win_saw_ece = False
+
+    def _reduction_penalty(self) -> float:
+        """Backoff factor ``p`` in ``W <- W(1 - p/2)``.
+
+        Plain DCTCP uses ``alpha``; deadline-aware variants (D2TCP)
+        override this with the gamma-corrected ``alpha ** d``.
+        """
+        return self.alpha
+
+    def _cc_on_timeout(self, kind) -> None:
+        # A whole window was lost; restart the marking observation window at
+        # the retransmission point so stale mark counts don't leak in.
+        self._win_end_seq = self.snd_una
+        self._win_bytes_acked = 0
+        self._win_bytes_marked = 0
+        self._win_saw_ece = False
+        super()._cc_on_timeout(kind)

@@ -1,0 +1,125 @@
+"""Delayed ACKs with the DCTCP ECN-echo state machine.
+
+The base :class:`~repro.tcp.receiver.TcpReceiver` ACKs every segment
+immediately, which makes the sender's marked-byte estimate exact but
+doubles the ACK-path packet count relative to a real stack.  This module
+provides the Linux-like alternative: ACK every second in-order segment
+(or on a delayed-ACK timeout), with DCTCP's two-state ECN-echo machine
+(Alizadeh et al., SIGCOMM'10, Fig. 2) keeping the marked-byte accounting
+accurate across coalesced ACKs:
+
+- the receiver remembers the CE state of the last segment;
+- while arriving segments keep the same CE state, normal delayed ACKs are
+  sent with ECE = that state;
+- when a segment's CE differs from the remembered state, the pending
+  segments are ACKed *immediately* with ECE reflecting the old state,
+  then the state flips.
+
+Out-of-order and duplicate segments are always ACKed immediately
+(RFC 5681), which is what feeds fast retransmit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..net.host import Host
+from ..net.packet import Packet
+from ..sim.engine import Simulator
+from ..sim.units import MS
+from .receiver import TcpReceiver
+
+#: Linux's minimum delayed-ACK timeout is 40 ms (HZ=250); datacenter
+#: deployments often tune it down — it is a constructor parameter.
+DEFAULT_DELACK_TIMEOUT_NS = 40 * MS
+#: ACK every second full segment (RFC 1122's "SHOULD").
+DEFAULT_ACK_EVERY = 2
+
+
+class DelayedAckReceiver(TcpReceiver):
+    """TCP receiver with delayed ACKs + DCTCP ECE state machine."""
+
+    __slots__ = (
+        "ack_every",
+        "delack_timeout_ns",
+        "_pending_segments",
+        "_ce_state",
+        "_delack_event",
+        "delayed_acks_sent",
+        "immediate_acks_sent",
+        "delack_timeouts",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        peer_node_id: int,
+        flow_id: int,
+        expected_bytes: Optional[int] = None,
+        on_data: Optional[Callable[[int], None]] = None,
+        on_complete: Optional[Callable[[TcpReceiver], None]] = None,
+        ack_every: int = DEFAULT_ACK_EVERY,
+        delack_timeout_ns: int = DEFAULT_DELACK_TIMEOUT_NS,
+    ):
+        if ack_every < 1:
+            raise ValueError(f"ack_every must be >= 1, got {ack_every}")
+        if delack_timeout_ns <= 0:
+            raise ValueError("delayed-ACK timeout must be positive")
+        super().__init__(
+            sim, host, peer_node_id, flow_id, expected_bytes, on_data, on_complete
+        )
+        self.ack_every = ack_every
+        self.delack_timeout_ns = delack_timeout_ns
+        self._pending_segments = 0
+        self._ce_state = False
+        self._delack_event = None
+        self.delayed_acks_sent = 0
+        self.immediate_acks_sent = 0
+        self.delack_timeouts = 0
+
+    # -- ACK policy -----------------------------------------------------------
+    def _ack_policy(self, packet: Packet, out_of_order: bool, rcv_before: int) -> None:
+        if out_of_order:
+            # Duplicate/out-of-order: flush anything pending, then ACK now.
+            self._flush_pending()
+            self._send_ack(ece=self._ce_state if packet.ect else packet.ce)
+            self.immediate_acks_sent += 1
+            return
+
+        if packet.ect and packet.ce != self._ce_state:
+            # DCTCP state change: ACK the pending run with the *old* state
+            # immediately — covering only the bytes that preceded this
+            # segment — then adopt the new state for it.
+            if self._pending_segments > 0:
+                self._flush_pending(ack_seq=rcv_before)
+            self._ce_state = packet.ce
+
+        self._pending_segments += 1
+        if self._pending_segments >= self.ack_every:
+            self._flush_pending()
+        elif self._delack_event is None:
+            self._delack_event = self.sim.schedule(
+                self.delack_timeout_ns, self._on_delack_timer
+            )
+
+    def _flush_pending(self, ack_seq: Optional[int] = None) -> None:
+        if self._delack_event is not None:
+            self.sim.cancel(self._delack_event)
+            self._delack_event = None
+        if self._pending_segments == 0:
+            return
+        self._pending_segments = 0
+        self._send_ack(ece=self._ce_state, ack_seq=ack_seq)
+        self.delayed_acks_sent += 1
+
+    def _on_delack_timer(self) -> None:
+        self._delack_event = None
+        self.delack_timeouts += 1
+        self._flush_pending()
+
+    def close(self) -> None:
+        if not self.closed and self._delack_event is not None:
+            self.sim.cancel(self._delack_event)
+            self._delack_event = None
+        super().close()

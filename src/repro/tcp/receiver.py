@@ -1,0 +1,174 @@
+"""TCP receiver: in-order reassembly, cumulative ACKs, per-packet ECN echo.
+
+The receiver ACKs every data segment immediately (no delayed ACKs).  With
+per-packet ACKs the DCTCP ECN-echo state machine degenerates to "ECE in
+the ACK = CE on the segment that triggered it", which is exactly what we
+implement; the sender's marked-byte fraction estimate is then exact.
+
+Duplicate segments (retransmissions of data already received) still
+generate ACKs — those duplicates are what drive fast retransmit at the
+sender.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..sim.engine import Simulator
+from ..net.host import Host
+from ..net.packet import Packet, make_ack_packet
+
+
+class TcpReceiver:
+    """Sink endpoint of one flow, attached to a host."""
+
+    __slots__ = (
+        "sim",
+        "host",
+        "peer_node_id",
+        "flow_id",
+        "rcv_nxt",
+        "bytes_delivered",
+        "expected_bytes",
+        "on_data",
+        "on_complete",
+        "_ooo",
+        "_done",
+        "data_packets_received",
+        "duplicate_packets_received",
+        "ce_packets_received",
+        "closed",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        peer_node_id: int,
+        flow_id: int,
+        expected_bytes: Optional[int] = None,
+        on_data: Optional[Callable[[int], None]] = None,
+        on_complete: Optional[Callable[["TcpReceiver"], None]] = None,
+    ):
+        self.sim = sim
+        self.host = host
+        self.peer_node_id = peer_node_id
+        self.flow_id = flow_id
+        self.rcv_nxt = 0
+        self.bytes_delivered = 0
+        self.expected_bytes = expected_bytes
+        self.on_data = on_data
+        self.on_complete = on_complete
+        self._ooo: Dict[int, int] = {}  # seq -> end of buffered segment
+        self._done = False
+        self.data_packets_received = 0
+        self.duplicate_packets_received = 0
+        self.ce_packets_received = 0
+        self.closed = False
+        host.register_flow(flow_id, self)
+
+    def expect(self, additional_bytes: int) -> None:
+        """Raise the completion target (a new request on a persistent
+        connection); ``on_complete`` will fire again at the new target."""
+        if additional_bytes <= 0:
+            raise ValueError(f"additional_bytes must be positive, got {additional_bytes}")
+        if self.expected_bytes is None:
+            self.expected_bytes = 0
+        self.expected_bytes += additional_bytes
+        self._done = False
+
+    def on_packet(self, packet: Packet) -> None:
+        """Handle an arriving segment; emit the cumulative ACK."""
+        if packet.is_ack:  # stray ACK routed to the receiver side; ignore
+            return
+        self.data_packets_received += 1
+        if packet.ce:
+            self.ce_packets_received += 1
+
+        rcv_before = self.rcv_nxt
+        if packet.end_seq <= self.rcv_nxt:
+            self.duplicate_packets_received += 1
+        else:
+            self._buffer(packet.seq, packet.end_seq)
+            self._advance()
+        # duplicate or out-of-order segments must be ACKed immediately
+        # (RFC 5681); in-order segments go through the ACK policy, which
+        # subclasses may delay.
+        out_of_order = self.rcv_nxt == rcv_before
+
+        self._ack_policy(packet, out_of_order, rcv_before)
+
+        if (
+            not self._done
+            and self.expected_bytes is not None
+            and self.rcv_nxt >= self.expected_bytes
+        ):
+            self._done = True
+            if self.on_complete is not None:
+                self.on_complete(self)
+
+    # -- ACK policy (overridden by DelayedAckReceiver) ----------------------------
+    def _ack_policy(self, packet: Packet, out_of_order: bool, rcv_before: int) -> None:
+        """Immediate per-packet cumulative ACK echoing the segment's CE.
+
+        ``rcv_before`` is the cumulative point before this segment was
+        reassembled (delayed-ACK subclasses acknowledge up to it when a
+        CE state change forces an early flush).
+        """
+        self._send_ack(ece=packet.ce)
+
+    # -- internals --------------------------------------------------------------
+    def _buffer(self, seq: int, end: int) -> None:
+        existing_end = self._ooo.get(seq)
+        if existing_end is None or existing_end < end:
+            self._ooo[seq] = end
+
+    def _advance(self) -> None:
+        """Pull contiguous segments out of the reorder buffer."""
+        before = self.rcv_nxt
+        moved = True
+        while moved:
+            moved = False
+            end = self._ooo.pop(self.rcv_nxt, None)
+            if end is not None:
+                self.rcv_nxt = max(self.rcv_nxt, end)
+                moved = True
+            else:
+                # A retransmission after a partial overlap can start below
+                # rcv_nxt but extend past it; scan for such a segment.
+                for seq, seg_end in self._ooo.items():
+                    if seq <= self.rcv_nxt < seg_end:
+                        del self._ooo[seq]
+                        self.rcv_nxt = seg_end
+                        moved = True
+                        break
+        delivered = self.rcv_nxt - before
+        if delivered > 0:
+            self.bytes_delivered += delivered
+            if self.on_data is not None:
+                self.on_data(delivered)
+        # Drop any stale buffered segments fully below rcv_nxt.
+        if self._ooo:
+            stale = [s for s, e in self._ooo.items() if e <= self.rcv_nxt]
+            for s in stale:
+                del self._ooo[s]
+
+    def _send_ack(self, ece: bool, ack_seq: Optional[int] = None) -> None:
+        ack = make_ack_packet(
+            self.flow_id,
+            self.host.node_id,
+            self.peer_node_id,
+            self.rcv_nxt if ack_seq is None else ack_seq,
+            ece=ece,
+        )
+        self.host.send(ack)
+
+    @property
+    def complete(self) -> bool:
+        return self._done
+
+    def close(self) -> None:
+        """Detach from the host (end of the flow's lifetime)."""
+        if not self.closed:
+            self.host.unregister_flow(self.flow_id)
+            self.closed = True

@@ -1,0 +1,435 @@
+"""TCP New Reno sender.
+
+Implements the classic loss-based stack the paper uses as its "TCP"
+baseline, and serves as the base class for DCTCP and DCTCP+:
+
+- slow start / congestion avoidance (RFC 5681, byte-counted with Linux's
+  integer-stepped window growth so cwnd holds steady values like 2 MSS),
+- fast retransmit after 3 duplicate ACKs, NewReno fast recovery with
+  partial-ACK retransmission (RFC 6582),
+- RFC 6298 retransmission timer with exponential backoff and go-back-N on
+  expiry,
+- Karn's algorithm for RTT sampling,
+- timeout classification (FLoss-TO / LAck-TO) for Table I,
+- per-transmission ``(cwnd, ECE)`` snapshots for Fig. 2 / Table I,
+- an optional pacing gate (used by DCTCP+'s slow_time regulation).
+
+Subclass hooks
+--------------
+``_cc_on_ack``      window growth + (in DCTCP) marking bookkeeping
+``_cc_on_timeout``  reaction to an expired RTO
+``_after_ack``      called for every ACK (DCTCP+ state machine input)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol
+
+from ..metrics.flowstats import FlowStats
+from ..net.host import Host
+from ..net.packet import Packet, make_data_packet
+from ..sim.engine import Simulator
+from .config import TcpConfig
+from .rtt import RttEstimator
+from .timeouts import TimeoutKind, classify_timeout
+
+
+class Pacer(Protocol):
+    """Transmission gate; DCTCP+ plugs its slow_time regulation in here."""
+
+    def next_send_time(self, now: int) -> int: ...
+    def on_sent(self, now: int) -> None: ...
+
+
+class TcpSender:
+    """Source endpoint of one flow."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        dst_node_id: int,
+        flow_id: int,
+        config: Optional[TcpConfig] = None,
+        stats: Optional[FlowStats] = None,
+        on_complete: Optional[Callable[["TcpSender"], None]] = None,
+    ):
+        self.sim = sim
+        self.host = host
+        self.dst_node_id = dst_node_id
+        self.flow_id = flow_id
+        self.config = config or TcpConfig()
+        cfg = self.config
+
+        self.total_bytes = 0
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.cwnd: float = cfg.init_cwnd_bytes
+        self.ssthresh: float = cfg.init_ssthresh_bytes
+        self.dupacks = 0
+        self.in_fast_recovery = False
+        self.recover = 0
+        self._ca_bytes_acked = 0.0  # Linux-style snd_cwnd_cnt analogue
+
+        self.rtt = RttEstimator(
+            cfg.rto_min_ns, cfg.rto_max_ns, cfg.rto_initial_ns, cfg.seed_rtt_ns
+        )
+        self.rto_backoff = 0
+        self._rto_event = None
+        self._acks_since_timer_armed = 0
+
+        #: first-transmission times for outstanding segments (Karn-clean)
+        self._segment_send_time: Dict[int, int] = {}
+        self._pending_send_event = None
+
+        self.completed = False
+        self.closed = False
+        self._last_send_time = -1  # kernel lsndtime, for cwnd restart
+        #: high-water mark of the window lost at the last RTO; the sender is
+        #: in loss recovery (kernel CA_Loss) until snd_una passes it.
+        self.rto_recovery_point = 0
+        #: ECE flag of the most recent ACK — the "ECE=1 before sending"
+        #: state traced for Table I.
+        self.last_ack_ece = False
+
+        self.stats = stats or FlowStats(flow_id=flow_id)
+        self.stats.flow_id = flow_id
+        self.on_complete = on_complete
+        self.pacer: Optional[Pacer] = None
+
+        host.register_flow(flow_id, self)
+
+    # ------------------------------------------------------------------ app API
+    def send(self, nbytes: int) -> None:
+        """Queue ``nbytes`` of application data for transmission."""
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {nbytes}")
+        if self.closed:
+            raise RuntimeError("sender is closed")
+        if self.stats.start_time_ns < 0:
+            self.stats.start_time_ns = self.sim.now
+        if self.config.slow_start_after_idle:
+            self._maybe_cwnd_restart()
+        self.total_bytes += nbytes
+        self.stats.total_bytes = self.total_bytes
+        self.completed = False
+        self._try_send()
+
+    def _maybe_cwnd_restart(self) -> None:
+        """Linux ``tcp_cwnd_restart``: decay cwnd after application idle.
+
+        One halving per RTO of idle time, floored at the restart window
+        (min of the initial window and the current cwnd); ssthresh is kept.
+        """
+        if self._last_send_time < 0:
+            return
+        idle = self.sim.now - self._last_send_time
+        rto = self.rtt.rto_ns
+        if idle <= rto:
+            return
+        cfg = self.config
+        restart = min(cfg.init_cwnd_bytes, self.cwnd)
+        halvings = min(int(idle // rto), 32)
+        decayed = self.cwnd / float(1 << halvings)
+        self.cwnd = max(self._quantize_down(decayed, cfg.min_cwnd_bytes), restart)
+        self._ca_bytes_acked = 0.0
+
+    def close(self) -> None:
+        """Detach from the host and cancel timers."""
+        if self.closed:
+            return
+        self.closed = True
+        self.sim.cancel(self._rto_event)
+        self._rto_event = None
+        self.sim.cancel(self._pending_send_event)
+        self._pending_send_event = None
+        self.host.unregister_flow(self.flow_id)
+
+    # -------------------------------------------------------------- convenience
+    def _quantize_down(self, cwnd_bytes: float, floor_bytes: float) -> float:
+        """Round a window reduction down to a whole number of segments.
+
+        The kernel tracks ``snd_cwnd`` in integer packets, so every
+        multiplicative decrease lands on an exact MSS multiple — e.g. DCTCP
+        at cwnd=2 drops straight to 1 or stays at 2, never 1.4.  This
+        integer behaviour is load-bearing for the paper: it is why flows
+        park *exactly at* the floor with ECE still arriving (Table I).
+        """
+        mss = self.config.mss
+        quantized = (int(cwnd_bytes) // mss) * mss
+        return max(float(quantized), floor_bytes)
+
+    @property
+    def bytes_in_flight(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def in_rto_recovery(self) -> bool:
+        """True while retransmissions from the last RTO are outstanding."""
+        return self.snd_una < self.rto_recovery_point
+
+    @property
+    def cwnd_mss(self) -> float:
+        return self.cwnd / self.config.mss
+
+    @property
+    def effective_window_bytes(self) -> int:
+        """Packet-counting window: whole MSS units, at least one segment."""
+        mss = self.config.mss
+        whole = int(self.cwnd // mss) * mss
+        return min(max(whole, mss), self.config.rwnd_bytes)
+
+    # ------------------------------------------------------------- transmission
+    def _try_send(self) -> None:
+        if self.closed or self.completed:
+            return
+        cfg = self.config
+        now = self.sim.now
+        window = self.effective_window_bytes
+        while self.snd_nxt < self.total_bytes:
+            seg_len = min(cfg.mss, self.total_bytes - self.snd_nxt)
+            if self.bytes_in_flight + seg_len > window:
+                break
+            if self.pacer is not None:
+                gate = self.pacer.next_send_time(now)
+                if gate > now:
+                    self._schedule_send_retry(gate)
+                    return
+            self._transmit(self.snd_nxt, seg_len, is_retransmit=False)
+            self.snd_nxt += seg_len
+        if self.bytes_in_flight > 0 and self._rto_event is None:
+            self._arm_timer()
+
+    def _schedule_send_retry(self, at_time: int) -> None:
+        if self._pending_send_event is not None:
+            return
+        self._pending_send_event = self.sim.at(at_time, self._send_retry)
+
+    def _send_retry(self) -> None:
+        self._pending_send_event = None
+        self._try_send()
+
+    def _transmit(self, seq: int, length: int, is_retransmit: bool) -> None:
+        cfg = self.config
+        now = self.sim.now
+        self.stats.record_send_snapshot(int(self.cwnd // cfg.mss), self.last_ack_ece)
+        packet = make_data_packet(
+            self.flow_id,
+            self.host.node_id,
+            self.dst_node_id,
+            seq,
+            length,
+            ect=cfg.ecn_enabled,
+            is_retransmit=is_retransmit,
+        )
+        packet.sent_time = now
+        if is_retransmit:
+            # Karn: retransmitted segments are never RTT-sampled.
+            self._segment_send_time.pop(seq, None)
+            self.stats.retransmitted_packets += 1
+        else:
+            self._segment_send_time[seq] = now
+        self.stats.data_packets_sent += 1
+        self._last_send_time = now
+        self.host.send(packet)
+        if self.pacer is not None:
+            self.pacer.on_sent(now)
+
+    def _retransmit_front(self) -> None:
+        seg_len = min(self.config.mss, self.total_bytes - self.snd_una)
+        if seg_len > 0:
+            self._transmit(self.snd_una, seg_len, is_retransmit=True)
+
+    # ------------------------------------------------------------ ACK processing
+    def on_packet(self, packet: Packet) -> None:
+        if not packet.is_ack or self.closed:
+            return
+        self._on_ack(packet)
+
+    def _on_ack(self, ack: Packet) -> None:
+        if self.completed:
+            return
+        self._acks_since_timer_armed += 1
+        self.stats.acks_received += 1
+        ece = ack.ece
+        self.last_ack_ece = ece
+        if ece:
+            self.stats.ece_acks_received += 1
+
+        # Highest byte ever handed to the network: go-back-N rewinds
+        # snd_nxt, but a late ACK from the original (pre-timeout) flight is
+        # still legitimate up to the recovery point.
+        high_water = max(self.snd_nxt, self.rto_recovery_point)
+        if ack.ack_seq > high_water:
+            # RFC 793: an ACK for data we never sent is ignored.  Cannot
+            # happen with well-behaved peers, but keeps the state machine
+            # sound against reordering artifacts or buggy endpoints.
+            return
+        if ack.ack_seq > self.snd_una:
+            self._on_new_ack(ack.ack_seq, ece)
+        elif self.bytes_in_flight > 0:
+            self._on_dupack(ece)
+
+    def _on_new_ack(self, ack_seq: int, ece: bool) -> None:
+        newly_acked = ack_seq - self.snd_una
+        self._sample_rtt(ack_seq)
+        self.snd_una = ack_seq
+        if self.snd_nxt < ack_seq:
+            # a late original-flight ACK overtook the go-back-N rewind
+            self.snd_nxt = ack_seq
+        self.dupacks = 0
+        self.rto_backoff = 0
+        cfg = self.config
+
+        if self.in_fast_recovery:
+            if ack_seq >= self.recover:
+                # Full ACK: leave recovery, deflate to ssthresh.
+                self.in_fast_recovery = False
+                self.cwnd = max(cfg.min_cwnd_bytes, self.ssthresh)
+            else:
+                # Partial ACK (RFC 6582): retransmit the next hole, deflate
+                # by the amount acked, stay in recovery.
+                self._retransmit_front()
+                self.cwnd = max(float(cfg.mss), self.cwnd - newly_acked + cfg.mss)
+        else:
+            self._cc_on_ack(newly_acked, ece)
+
+        if self.total_bytes > 0 and self.snd_una >= self.total_bytes:
+            self._complete()
+        elif self.bytes_in_flight > 0:
+            self._arm_timer()
+        else:
+            # Nothing outstanding (remaining data may be gated by the
+            # pacer); the timer re-arms when the next packet departs.
+            self._stop_timer()
+        self._after_ack(ece, is_dup=False)
+        if not self.completed:
+            self._try_send()
+
+    def _on_dupack(self, ece: bool) -> None:
+        cfg = self.config
+        self.dupacks += 1
+        self.stats.dupacks_received += 1
+        if self.in_fast_recovery:
+            # Window inflation: each dupACK signals a departed segment.
+            self.cwnd += cfg.mss
+        elif self.dupacks >= cfg.dupack_threshold:
+            self._enter_fast_recovery()
+        elif cfg.limited_transmit:
+            # RFC 3042: the first two dupACKs each release one new segment
+            # beyond the window, keeping the ACK clock alive for windows
+            # too small to generate three duplicates.
+            self._limited_transmit()
+        self._after_ack(ece, is_dup=True)
+        self._try_send()
+
+    def _limited_transmit(self) -> None:
+        cfg = self.config
+        seg_len = min(cfg.mss, self.total_bytes - self.snd_nxt)
+        if seg_len <= 0:
+            return
+        if self.bytes_in_flight + seg_len > cfg.rwnd_bytes:
+            return
+        if self.bytes_in_flight >= self.effective_window_bytes + 2 * cfg.mss:
+            return
+        self._transmit(self.snd_nxt, seg_len, is_retransmit=False)
+        self.snd_nxt += seg_len
+
+    def _enter_fast_recovery(self) -> None:
+        cfg = self.config
+        flight = self.bytes_in_flight
+        self.ssthresh = self._quantize_down(flight / 2.0, cfg.min_cwnd_bytes)
+        self.recover = self.snd_nxt
+        self.in_fast_recovery = True
+        self.stats.fast_retransmits += 1
+        self._retransmit_front()
+        self.cwnd = self.ssthresh + cfg.dupack_threshold * cfg.mss
+        self._arm_timer()
+
+    def _sample_rtt(self, ack_seq: int) -> None:
+        """Karn-compliant RTT sample from the newest fully-acked segment."""
+        newest_send = -1
+        to_pop = []
+        for seq, sent_at in self._segment_send_time.items():
+            if seq >= ack_seq:
+                break
+            to_pop.append(seq)
+            if sent_at > newest_send:
+                newest_send = sent_at
+        for seq in to_pop:
+            del self._segment_send_time[seq]
+        if newest_send >= 0:
+            self.rtt.add_sample(self.sim.now - newest_send)
+
+    # ----------------------------------------------------------------- RTO timer
+    def _arm_timer(self) -> None:
+        self.sim.cancel(self._rto_event)
+        duration = self.rtt.backed_off_rto_ns(self.rto_backoff)
+        self._rto_event = self.sim.schedule(duration, self._on_rto)
+        self._acks_since_timer_armed = 0
+
+    def _stop_timer(self) -> None:
+        self.sim.cancel(self._rto_event)
+        self._rto_event = None
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if self.completed or self.closed or self.bytes_in_flight <= 0:
+            return
+        kind = classify_timeout(self._acks_since_timer_armed)
+        self.stats.record_timeout(self.sim.now, kind)
+        # CA_Loss analogue: everything up to the pre-timeout high-water mark
+        # is now a retransmission; recovery lasts until it is all ACKed.
+        self.rto_recovery_point = self.snd_nxt
+
+        cfg = self.config
+        flight = self.bytes_in_flight
+        self.ssthresh = self._quantize_down(flight / 2.0, cfg.min_cwnd_bytes)
+        self.cwnd = cfg.timeout_cwnd_bytes
+        self.in_fast_recovery = False
+        self.dupacks = 0
+        self.snd_nxt = self.snd_una  # go-back-N
+        self._segment_send_time.clear()  # Karn: everything is a retransmit now
+        self.rto_backoff = min(self.rto_backoff + 1, cfg.max_rto_backoff)
+        self._cc_on_timeout(kind)
+        self._retransmit_front()
+        self.snd_nxt = min(self.total_bytes, self.snd_una + cfg.mss)
+        self._arm_timer()
+
+    # ---------------------------------------------------------------- completion
+    def _complete(self) -> None:
+        self.completed = True
+        self.stats.completion_time_ns = self.sim.now
+        self._stop_timer()
+        self.sim.cancel(self._pending_send_event)
+        self._pending_send_event = None
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+    # ------------------------------------------------------------ subclass hooks
+    def _cc_on_ack(self, newly_acked: int, ece: bool) -> None:
+        """Window growth on a clean cumulative ACK (not in fast recovery)."""
+        cfg = self.config
+        if self.cwnd < self.ssthresh:
+            # Slow start: one MSS per ACKed MSS (byte-counted, capped).
+            self.cwnd = min(self.cwnd + min(newly_acked, cfg.mss), cfg.rwnd_bytes)
+        else:
+            # Congestion avoidance with Linux-style integer stepping: grow
+            # by one MSS only after a full cwnd's worth of bytes is ACKed,
+            # so the window rests at stable values like exactly 2 MSS.
+            self._ca_bytes_acked += newly_acked
+            if self._ca_bytes_acked >= self.cwnd:
+                self._ca_bytes_acked -= self.cwnd
+                self.cwnd = min(self.cwnd + cfg.mss, cfg.rwnd_bytes)
+
+    def _cc_on_timeout(self, kind: TimeoutKind) -> None:
+        """Extra protocol reaction to an RTO (DCTCP+ hooks in here)."""
+
+    def _after_ack(self, ece: bool, is_dup: bool) -> None:
+        """Called once per received ACK (DCTCP+ state machine input)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(flow={self.flow_id}, una={self.snd_una}, "
+            f"nxt={self.snd_nxt}, cwnd={self.cwnd_mss:.2f}mss)"
+        )

@@ -1,0 +1,35 @@
+"""Timeout taxonomy from Zhang et al. (ICNP'13), used by the paper's Table I.
+
+When an RTO fires, the stall is classified by what the sender heard since
+the retransmission timer was last armed:
+
+- **FLoss-TO** (*full window loss*): every packet of the outstanding window
+  was lost — the sender received *no* ACK at all, so nothing could trigger
+  data-driven recovery.
+- **LAck-TO** (*lack of ACKs*): some packets survived and generated ACKs,
+  but fewer than ``dupack_threshold`` duplicates arrived, so fast
+  retransmit never fired and the timer expired anyway.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class TimeoutKind(Enum):
+    """Why the retransmission timer expired."""
+
+    FLOSS = "FLoss-TO"
+    LACK = "LAck-TO"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def classify_timeout(acks_heard_since_armed: int) -> TimeoutKind:
+    """Classify an expired RTO from the sender's ACK bookkeeping.
+
+    ``acks_heard_since_armed`` counts every ACK (new or duplicate) for the
+    flow received since the retransmission timer was last (re)started.
+    """
+    return TimeoutKind.FLOSS if acks_heard_since_armed == 0 else TimeoutKind.LACK

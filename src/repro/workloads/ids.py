@@ -1,0 +1,17 @@
+"""Global flow-id allocation.
+
+Flow ids must be unique per host demux table; a process-wide counter keeps
+them unique across workloads, rounds and background traffic without any
+coordination.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+_flow_ids = count(1)
+
+
+def next_flow_id() -> int:
+    """Allocate a fresh, process-unique flow id."""
+    return next(_flow_ids)

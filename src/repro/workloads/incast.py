@@ -1,0 +1,329 @@
+"""The incast benchmark (paper Section VI.B, after Vasudevan et al.).
+
+One aggregator requests ``total_bytes / N`` from each of ``N`` worker
+flows; workers respond immediately and simultaneously; the aggregator
+waits for **all** responses (barrier) and then issues the next request.
+Flows are spread round-robin across the servers (the paper's
+multithreaded senders: each server carries several concurrent flows).
+
+Connections are **persistent across rounds**, as in the reference
+benchmark (github.com/amarp/incast): the same TCP state — cwnd, ssthresh,
+RTT estimate, DCTCP alpha, DCTCP+ slow_time — carries over from round to
+round.  This matters: a fresh connection would re-enter slow start every
+round and overshoot, which is not what the testbed measures.
+
+Requests are modelled as real 64-byte control packets sent back-to-back
+through the aggregator's NIC, so workers start within a few microseconds
+of each other — the synchronization that produces the fan-in burst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..net.host import Host
+from ..net.packet import Packet
+from ..net.topology import TwoTierTree
+from ..sim.engine import Simulator
+from ..sim.units import MB, SEC, bits_per_second
+from ..tcp.receiver import TcpReceiver
+from ..tcp.sender import TcpSender
+from .ids import next_flow_id
+from .protocols import ProtocolSpec
+
+
+@dataclass
+class IncastConfig:
+    """Parameters of one incast run."""
+
+    n_flows: int
+    #: Total bytes per round, split evenly across flows (paper: 1 MB).
+    total_bytes: int = 1 * MB
+    #: Overrides the even split: exact bytes requested from *each* flow
+    #: (Fig. 14 uses 4 MB per flow).
+    bytes_per_flow: Optional[int] = None
+    n_rounds: int = 10
+    request_bytes: int = 64
+    #: Interval between consecutive request issues at the aggregator.  The
+    #: reference benchmark's aggregator is a userspace loop over N sockets
+    #: ("multiple threads ... in a serially round-robin way"), so requests
+    #: leave one send() syscall apart, not back-to-back on the wire.  ~30 us
+    #: per request matches syscall + thread wakeup cost on the paper's
+    #: 2009-era hardware (Celeron dual-core, CentOS 5.5).
+    request_spacing_ns: int = 30_000
+    #: Optional worker-side start jitter (models app/OS scheduling noise;
+    #: 0 keeps workers perfectly synchronized).
+    start_jitter_ns: int = 0
+    #: Per-round wall-clock guard; a round that exceeds this is recorded as
+    #: failed instead of hanging the simulation.
+    round_deadline_ns: int = 60 * SEC
+    #: Optional per-flow completion deadline, relative to the round start.
+    #: Deadline-aware senders (d2tcp / d2tcp+) modulate their backoff with
+    #: it; every protocol gets its misses counted in the round results.
+    flow_deadline_ns: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_flows < 1:
+            raise ValueError("need at least one flow")
+        if self.bytes_per_flow is None and self.total_bytes < self.n_flows:
+            raise ValueError("total_bytes must allow >= 1 byte per flow")
+        if self.n_rounds < 1:
+            raise ValueError("need at least one round")
+
+    @property
+    def sru_bytes(self) -> int:
+        """Server request unit: bytes each worker sends per round."""
+        if self.bytes_per_flow is not None:
+            return self.bytes_per_flow
+        return self.total_bytes // self.n_flows
+
+    @property
+    def round_bytes(self) -> int:
+        return self.sru_bytes * self.n_flows
+
+
+@dataclass
+class RoundResult:
+    """Outcome of one request/response round."""
+
+    index: int
+    start_ns: int
+    duration_ns: int
+    bytes_received: int
+    timeouts: int
+    completed: bool
+    #: flows that finished after the configured flow deadline (0 when no
+    #: deadline is configured).
+    missed_deadlines: int = 0
+
+    @property
+    def goodput_bps(self) -> float:
+        return bits_per_second(self.bytes_received, self.duration_ns)
+
+
+class _RequestListener:
+    """Worker-side endpoint that starts the response on request arrival."""
+
+    __slots__ = ("callback",)
+
+    def __init__(self, callback: Callable[[], None]):
+        self.callback = callback
+
+    def on_packet(self, packet: Packet) -> None:
+        self.callback()
+
+
+class IncastWorkload:
+    """Drives ``n_rounds`` of the incast pattern over persistent flows."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tree: TwoTierTree,
+        spec: ProtocolSpec,
+        config: IncastConfig,
+        on_round_end: Optional[Callable[[RoundResult], None]] = None,
+    ):
+        self.sim = sim
+        self.tree = tree
+        self.spec = spec
+        self.config = config
+        self.on_round_end = on_round_end
+        self.rounds: List[RoundResult] = []
+        self.finished = False
+        self._jitter_rng = sim.stream("incast/jitter")
+        # Seed the RTT estimator as a persistent connection would be (the
+        # connection's handshake and first rounds have measured the path).
+        if spec.tcp_config.seed_rtt_ns is None:
+            spec.tcp_config = spec.tcp_config.with_overrides(
+                seed_rtt_ns=tree.baseline_rtt_ns()
+            )
+        self._round_index = 0
+        self.senders: List[TcpSender] = []
+        self.receivers: List[TcpReceiver] = []
+        self._ctrl: List[Tuple[Host, int]] = []
+        self._pending = 0
+        self._round_start = 0
+        self._missed_this_round = 0
+        self._deadline_event = None
+        self._bytes_at_round_start = 0
+        self._timeouts_at_round_start = 0
+        self._started = False
+        self._build_flows()
+
+    @property
+    def flow_stats(self) -> List:
+        """Per-flow lifetime statistics (span all rounds, like the paper's
+        per-flow kernel traces)."""
+        return [s.stats for s in self.senders]
+
+    # -- construction ----------------------------------------------------------
+    def _build_flows(self) -> None:
+        cfg = self.config
+        sim = self.sim
+        tree = self.tree
+        for i in range(cfg.n_flows):
+            server = tree.servers[i % len(tree.servers)]
+            flow_id = next_flow_id()
+            ctrl_id = next_flow_id()
+
+            receiver = TcpReceiver(
+                sim,
+                tree.aggregator,
+                server.node_id,
+                flow_id,
+                expected_bytes=0,
+                on_complete=self._on_flow_complete,
+            )
+            sender = self.spec.make_sender(sim, server, tree.aggregator.node_id, flow_id)
+            self.senders.append(sender)
+            self.receivers.append(receiver)
+
+            listener = _RequestListener(self._make_starter(sender))
+            server.register_flow(ctrl_id, listener)
+            self._ctrl.append((server, ctrl_id))
+
+    def _make_starter(self, sender: TcpSender) -> Callable[[], None]:
+        jitter = self.config.start_jitter_ns
+        sru = self.config.sru_bytes
+
+        def _start() -> None:
+            if jitter > 0:
+                self.sim.schedule(self._jitter_rng.randrange(jitter + 1), sender.send, sru)
+            else:
+                sender.send(sru)
+
+        return _start
+
+    # -- public ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first round at the current simulated time."""
+        if self._started:
+            raise RuntimeError("workload already started")
+        self._started = True
+        self.sim.schedule(0, self._begin_round)
+
+    def run_to_completion(self, max_events: Optional[int] = None) -> None:
+        """Start (if needed) and pump the simulator until all rounds end."""
+        if not self._started:
+            self.start()
+        self.sim.run(max_events=max_events, stop_when=lambda: self.finished)
+
+    def close(self) -> None:
+        """Tear down all endpoints (end of the experiment)."""
+        for sender in self.senders:
+            sender.close()
+        for receiver in self.receivers:
+            receiver.close()
+        for server, ctrl_id in self._ctrl:
+            server.unregister_flow(ctrl_id)
+        self._ctrl = []
+
+    # -- round lifecycle -----------------------------------------------------------
+    def _begin_round(self) -> None:
+        cfg = self.config
+        sim = self.sim
+        tree = self.tree
+        self._round_start = sim.now
+        self._pending = cfg.n_flows
+        self._missed_this_round = 0
+        self._bytes_at_round_start = sum(r.bytes_delivered for r in self.receivers)
+        self._timeouts_at_round_start = sum(
+            s.stats.timeout_count for s in self.senders
+        )
+        if cfg.flow_deadline_ns is not None:
+            absolute = sim.now + cfg.flow_deadline_ns
+            for sender in self.senders:
+                set_deadline = getattr(sender, "set_deadline", None)
+                if set_deadline is not None:
+                    set_deadline(absolute)
+        sru = cfg.sru_bytes
+        for receiver in self.receivers:
+            receiver.expect(sru)
+        for i, (server, ctrl_id) in enumerate(self._ctrl):
+            request = Packet(
+                ctrl_id,
+                tree.aggregator.node_id,
+                server.node_id,
+                wire_bytes=cfg.request_bytes,
+            )
+            if cfg.request_spacing_ns > 0:
+                sim.schedule(i * cfg.request_spacing_ns, tree.aggregator.send, request)
+            else:
+                tree.aggregator.send(request)
+        self._deadline_event = sim.schedule(cfg.round_deadline_ns, self._on_deadline)
+
+    def _on_flow_complete(self, receiver: TcpReceiver) -> None:
+        self._pending -= 1
+        deadline = self.config.flow_deadline_ns
+        if deadline is not None and self.sim.now > self._round_start + deadline:
+            self._missed_this_round += 1
+        if self._pending == 0:
+            self._end_round(completed=True)
+
+    def _on_deadline(self) -> None:
+        self._deadline_event = None
+        self._end_round(completed=False)
+
+    def _end_round(self, completed: bool) -> None:
+        sim = self.sim
+        if self._deadline_event is not None:
+            sim.cancel(self._deadline_event)
+            self._deadline_event = None
+        bytes_received = (
+            sum(r.bytes_delivered for r in self.receivers) - self._bytes_at_round_start
+        )
+        timeouts = (
+            sum(s.stats.timeout_count for s in self.senders)
+            - self._timeouts_at_round_start
+        )
+        result = RoundResult(
+            index=self._round_index,
+            start_ns=self._round_start,
+            duration_ns=sim.now - self._round_start,
+            bytes_received=bytes_received,
+            timeouts=timeouts,
+            completed=completed,
+            missed_deadlines=self._missed_this_round,
+        )
+        self.rounds.append(result)
+        if self.on_round_end is not None:
+            self.on_round_end(result)
+
+        self._round_index += 1
+        if self._round_index >= self.config.n_rounds:
+            self.finished = True
+        else:
+            sim.schedule(0, self._begin_round)
+
+    # -- aggregate views -------------------------------------------------------------
+    @property
+    def mean_goodput_bps(self) -> float:
+        """Average application goodput across rounds (paper Fig. 1/7/8/11)."""
+        if not self.rounds:
+            return 0.0
+        return sum(r.goodput_bps for r in self.rounds) / len(self.rounds)
+
+    @property
+    def mean_fct_ns(self) -> float:
+        """Average round completion time (the paper's FCT, Fig. 7/12)."""
+        if not self.rounds:
+            return 0.0
+        return sum(r.duration_ns for r in self.rounds) / len(self.rounds)
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(r.timeouts for r in self.rounds)
+
+    @property
+    def total_missed_deadlines(self) -> int:
+        return sum(r.missed_deadlines for r in self.rounds)
+
+    @property
+    def missed_deadline_fraction(self) -> float:
+        """Share of (flow, round) completions that blew their deadline."""
+        total = len(self.rounds) * self.config.n_flows
+        if total == 0:
+            return 0.0
+        return self.total_missed_deadlines / total

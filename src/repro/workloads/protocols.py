@@ -1,0 +1,132 @@
+"""Protocol registry: build a sender for a named protocol variant.
+
+The experiments compare four variants:
+
+- ``"tcp"``        — TCP New Reno, no ECN (the paper's TCP baseline).
+- ``"dctcp"``      — DCTCP.
+- ``"dctcp+"``     — full DCTCP+ (randomized slow_time).
+- ``"dctcp+norand"`` — "partially implemented DCTCP+" (Fig. 6): slow_time
+  regulation without the desynchronizing randomization.
+
+Section VII extensions (the enhancement coalesced with other transports):
+
+- ``"tcp+"``   — New Reno + slow_time regulation (loss-channel driven).
+- ``"d2tcp"``  — deadline-aware DCTCP (Vamanan et al.).
+- ``"d2tcp+"`` — D2TCP carrying the slow_time enhancement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..core.config import DctcpPlusConfig
+from ..core.dctcp_plus import DctcpPlusSender
+from ..core.reno_plus import RenoPlusSender
+from ..net.host import Host
+from ..sim.engine import Simulator
+from ..tcp.config import TcpConfig
+from ..tcp.d2tcp import D2tcpPlusSender, D2tcpSender
+from ..tcp.dctcp import DctcpSender
+from ..tcp.sender import TcpSender
+
+PROTOCOLS = ("tcp", "dctcp", "dctcp+", "dctcp+norand", "tcp+", "d2tcp", "d2tcp+")
+
+
+@dataclass
+class ProtocolSpec:
+    """A named protocol plus its configuration."""
+
+    name: str
+    tcp_config: TcpConfig = field(default_factory=TcpConfig)
+    plus_config: DctcpPlusConfig = field(default_factory=DctcpPlusConfig)
+
+    def __post_init__(self) -> None:
+        if self.name not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.name!r}; choose from {PROTOCOLS}")
+        if self.name == "dctcp+norand":
+            self.plus_config = self.plus_config.with_overrides(randomize=False)
+
+    @property
+    def is_plus(self) -> bool:
+        """Whether the slow_time enhancement mechanism is active."""
+        return self.name in ("dctcp+", "dctcp+norand", "tcp+", "d2tcp+")
+
+    @property
+    def label(self) -> str:
+        """Display name matching the paper's figures."""
+        return {
+            "tcp": "TCP",
+            "dctcp": "DCTCP",
+            "dctcp+": "DCTCP+",
+            "dctcp+norand": "DCTCP+ (no desync)",
+            "tcp+": "TCP+",
+            "d2tcp": "D2TCP",
+            "d2tcp+": "D2TCP+",
+        }[self.name]
+
+    def make_sender(
+        self,
+        sim: Simulator,
+        host: Host,
+        dst_node_id: int,
+        flow_id: int,
+        on_complete: Optional[Callable[[TcpSender], None]] = None,
+        deadline_ns: Optional[int] = None,
+    ) -> TcpSender:
+        """Instantiate the sender endpoint for this protocol.
+
+        ``deadline_ns`` is honoured by the deadline-aware variants and
+        ignored by the rest.
+        """
+        if self.name in ("dctcp+", "dctcp+norand"):
+            return DctcpPlusSender(
+                sim,
+                host,
+                dst_node_id,
+                flow_id,
+                config=self.tcp_config,
+                plus_config=self.plus_config,
+                on_complete=on_complete,
+            )
+        if self.name == "tcp+":
+            return RenoPlusSender(
+                sim, host, dst_node_id, flow_id,
+                config=self.tcp_config,
+                plus_config=self.plus_config,
+                on_complete=on_complete,
+            )
+        if self.name == "d2tcp":
+            return D2tcpSender(
+                sim, host, dst_node_id, flow_id, config=self.tcp_config,
+                on_complete=on_complete, deadline_ns=deadline_ns,
+            )
+        if self.name == "d2tcp+":
+            return D2tcpPlusSender(
+                sim, host, dst_node_id, flow_id,
+                config=self.tcp_config,
+                plus_config=self.plus_config,
+                on_complete=on_complete,
+                deadline_ns=deadline_ns,
+            )
+        if self.name == "dctcp":
+            return DctcpSender(
+                sim, host, dst_node_id, flow_id, config=self.tcp_config,
+                on_complete=on_complete,
+            )
+        return TcpSender(
+            sim, host, dst_node_id, flow_id,
+            config=self.tcp_config.with_overrides(ecn_enabled=False),
+            on_complete=on_complete,
+        )
+
+
+def spec_for(
+    name: str,
+    tcp_overrides: Optional[dict] = None,
+    plus_overrides: Optional[dict] = None,
+) -> ProtocolSpec:
+    """Build a :class:`ProtocolSpec` with optional config overrides."""
+    tcp_config = TcpConfig(**(tcp_overrides or {}))
+    plus_config = DctcpPlusConfig(**(plus_overrides or {}))
+    return ProtocolSpec(name, tcp_config, plus_config)

@@ -1,0 +1,58 @@
+"""Shared scenario builders for the test suite."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.net.topology import TopologyParams, TwoTierTree, build_dumbbell
+from repro.sim.engine import Simulator
+from repro.tcp.config import TcpConfig
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.sender import TcpSender
+from repro.workloads.ids import next_flow_id
+
+#: a fast-firing RTO so loss tests don't simulate 200 ms of idle time
+FAST_RTO = TcpConfig(rto_min_ns=2_000_000, seed_rtt_ns=100_000)
+
+
+def single_flow(
+    n_senders: int = 1,
+    buffer_bytes: int = 128 * 1024,
+    ecn_threshold: Optional[int] = 32 * 1024,
+    config: Optional[TcpConfig] = None,
+    sender_cls=TcpSender,
+    total_bytes: int = 100_000,
+    seed: int = 1,
+    **sender_kwargs,
+) -> Tuple[Simulator, TwoTierTree, TcpSender, TcpReceiver]:
+    """One sender -> one receiver through a single switch (dumbbell)."""
+    sim = Simulator(seed=seed)
+    params = TopologyParams(
+        buffer_bytes=buffer_bytes, ecn_threshold_bytes=ecn_threshold
+    )
+    tree = build_dumbbell(sim, n_senders=n_senders, params=params)
+    flow_id = next_flow_id()
+    receiver = TcpReceiver(
+        sim,
+        tree.aggregator,
+        tree.servers[0].node_id,
+        flow_id,
+        expected_bytes=total_bytes,
+    )
+    cfg = config or TcpConfig(seed_rtt_ns=tree.baseline_rtt_ns())
+    sender = sender_cls(
+        sim,
+        tree.servers[0],
+        tree.aggregator.node_id,
+        flow_id,
+        config=cfg,
+        **sender_kwargs,
+    )
+    return sim, tree, sender, receiver
+
+
+def drain(sim: Simulator, max_events: int = 5_000_000) -> int:
+    """Run the simulator dry with a runaway guard."""
+    processed = sim.run(max_events=max_events)
+    assert processed < max_events, "simulation did not converge"
+    return processed

@@ -1,0 +1,124 @@
+"""Tests for the analytic pipeline-capacity models, cross-checked against
+the paper's numbers and (coarsely) against the simulator."""
+
+import pytest
+
+from repro.analysis import (
+    PathModel,
+    collapse_fanin,
+    expected_goodput_bps,
+    required_slow_time_ns,
+    rto_bound_goodput_bps,
+)
+from repro.sim.units import GBPS, KB, MB, MS, US
+
+#: the paper's testbed path
+PAPER_PATH = PathModel(
+    link_rate_bps=GBPS, base_rtt_ns=100 * US, buffer_bytes=128 * KB
+)
+
+
+class TestPipelineCapacity:
+    def test_paper_value(self):
+        # Section IV.C: 1 Gbps x 100 us + 128 KB ~= 140.5 "KB" (the paper
+        # mixes decimal kB for C x D with binary KB for the buffer; the
+        # exact value is 12_500 + 131_072 bytes)
+        assert PAPER_PATH.pipeline_capacity_bytes == pytest.approx(143_572, rel=0.001)
+        assert PAPER_PATH.pipeline_capacity_bytes == pytest.approx(140.5 * KB, rel=0.01)
+
+    def test_bdp(self):
+        assert PAPER_PATH.bandwidth_delay_product_bytes == pytest.approx(12_500)
+
+    def test_packet_service_time(self):
+        assert PAPER_PATH.packet_service_time_ns() == pytest.approx(12_000)
+
+
+class TestCollapseFanin:
+    def test_paper_examples(self):
+        # "If w(i,t)=3MSS, 40 flows = 180 KB exceeds Pipeline Capacity":
+        # the model must place the w=3 collapse below 40 flows...
+        assert collapse_fanin(PAPER_PATH, 3.0) < 40
+        # ...and the w=2 collapse between 40 and 60 ("when N=60, even if
+        # w=2MSS, 180KB also exceeds").
+        assert 40 <= collapse_fanin(PAPER_PATH, 2.0) < 60
+
+    def test_monotone_in_window(self):
+        assert collapse_fanin(PAPER_PATH, 1.0) > collapse_fanin(PAPER_PATH, 2.0)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            collapse_fanin(PAPER_PATH, 0)
+
+    def test_brackets_simulated_dctcp_collapse(self):
+        """The simulator's DCTCP collapse point lies in the analytic
+        [w=3, w=2] bracket (DCTCP flows oscillate between 2 and 3 MSS)."""
+        low = collapse_fanin(PAPER_PATH, 3.0)   # ~31
+        high = collapse_fanin(PAPER_PATH, 2.0)  # ~49
+        from repro.net.topology import build_two_tier
+        from repro.sim.engine import Simulator
+        from repro.workloads.incast import IncastConfig, IncastWorkload
+        from repro.workloads.protocols import spec_for
+
+        def goodput(n):
+            sim = Simulator(seed=42)
+            tree = build_two_tier(sim)
+            wl = IncastWorkload(
+                sim, tree, spec_for("dctcp"), IncastConfig(n_flows=n, n_rounds=6)
+            )
+            wl.run_to_completion(max_events=80_000_000)
+            return wl.mean_goodput_bps
+
+        assert goodput(max(low - 12, 2)) > 500e6   # healthy below the bracket
+        assert goodput(high + 15) < 200e6          # collapsed above it
+
+
+class TestRequiredSlowTime:
+    def test_zero_when_ack_clock_suffices(self):
+        # few flows: N * 12 us < RTT -> no pacing needed
+        assert required_slow_time_ns(PAPER_PATH, 5) == 0.0
+
+    def test_scales_linearly_at_high_fanin(self):
+        s80 = required_slow_time_ns(PAPER_PATH, 80)
+        s160 = required_slow_time_ns(PAPER_PATH, 160)
+        assert s160 - s80 == pytest.approx(80 * 12_000, rel=0.01)
+
+    def test_paper_scale_magnitude(self):
+        # at N=200 the needed interval is ~2.4 ms -> slow_time ~2.3 ms
+        assert required_slow_time_ns(PAPER_PATH, 200) == pytest.approx(
+            200 * 12_000 - 100_000, rel=0.01
+        )
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            required_slow_time_ns(PAPER_PATH, 0)
+
+
+class TestGoodputModels:
+    def test_rto_floor_matches_figures(self):
+        # 1 MB rounds with one 200 ms stall: the ~41 Mbps floor of Fig. 1/7
+        floor = rto_bound_goodput_bps(1 * MB, 200 * MS)
+        assert floor == pytest.approx(41.9e6, rel=0.02)
+
+    def test_transfer_time_included(self):
+        with_transfer = rto_bound_goodput_bps(1 * MB, 200 * MS, transfer_ns=8 * MS)
+        assert with_transfer < rto_bound_goodput_bps(1 * MB, 200 * MS)
+
+    def test_expected_goodput_interpolates(self):
+        clean = expected_goodput_bps(1 * MB, 9 * MS, 0.0, 200 * MS)
+        dirty = expected_goodput_bps(1 * MB, 9 * MS, 1.0, 200 * MS)
+        mid = expected_goodput_bps(1 * MB, 9 * MS, 0.1, 200 * MS)
+        assert dirty < mid < clean
+
+    def test_fluctuation_band_interpretation(self):
+        """5-35% stall probability reproduces the paper's 600-900 Mbps
+        'fluctuating' band for 1 MB rounds."""
+        hi = expected_goodput_bps(1 * MB, 9 * MS, 0.05, 200 * MS)
+        lo = expected_goodput_bps(1 * MB, 9 * MS, 0.35, 200 * MS)
+        assert 850e6 < hi < 950e6
+        assert 550e6 < lo < 700e6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rto_bound_goodput_bps(1 * MB, 0)
+        with pytest.raises(ValueError):
+            expected_goodput_bps(1 * MB, 1, 1.5, 1)

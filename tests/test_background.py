@@ -1,0 +1,93 @@
+"""Tests for persistent background (long) flows."""
+
+import pytest
+
+from repro.net.topology import build_two_tier
+from repro.sim.engine import Simulator
+from repro.sim.units import MS, SEC
+from repro.workloads.background import BackgroundConfig, BackgroundTraffic, ThroughputSample
+from repro.workloads.protocols import spec_for
+
+
+def run_background(duration_ns=50 * MS, n_flows=2, **cfg_overrides):
+    sim = Simulator(seed=1)
+    tree = build_two_tier(sim)
+    bg = BackgroundTraffic(
+        sim, tree, spec_for("dctcp"), BackgroundConfig(n_flows=n_flows, **cfg_overrides)
+    )
+    bg.start()
+    sim.run(until=duration_ns)
+    return sim, tree, bg
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackgroundConfig(n_flows=0)
+        with pytest.raises(ValueError):
+            BackgroundConfig(chunk_bytes=0)
+
+
+class TestSaturation:
+    def test_flows_keep_sending(self):
+        sim, tree, bg = run_background()
+        # two 1 Gbps-capable flows sharing a 1 Gbps bottleneck for 50 ms
+        total = bg.total_delivered_bytes
+        assert total > 4_000_000  # at least ~65% utilization
+
+    def test_refill_keeps_backlog(self):
+        sim, tree, bg = run_background()
+        for sender in bg.senders:
+            assert sender.total_bytes > bg.config.chunk_bytes  # refilled
+
+    def test_two_flows_share_fairly(self):
+        sim, tree, bg = run_background(duration_ns=100 * MS)
+        a = bg.receivers[0].bytes_delivered
+        b = bg.receivers[1].bytes_delivered
+        assert a > 0 and b > 0
+        assert 0.5 < a / b < 2.0
+
+    def test_sources_are_distinct_servers(self):
+        sim, tree, bg = run_background()
+        assert bg.senders[0].host is not bg.senders[1].host
+
+    def test_stop_closes_endpoints(self):
+        sim, tree, bg = run_background()
+        bg.stop()
+        assert all(s.closed for s in bg.senders)
+
+    def test_start_twice_rejected(self):
+        sim = Simulator(seed=1)
+        tree = build_two_tier(sim)
+        bg = BackgroundTraffic(sim, tree, spec_for("dctcp"))
+        bg.start()
+        with pytest.raises(RuntimeError):
+            bg.start()
+
+
+class TestThroughputReporting:
+    def test_interval_samples_emitted(self):
+        sim, tree, bg = run_background(
+            duration_ns=80 * MS, report_interval_bytes=1_000_000
+        )
+        assert len(bg.samples) >= 2
+        for sample in bg.samples:
+            assert sample.throughput_bps > 0
+
+    def test_sample_math(self):
+        s = ThroughputSample(flow_index=0, start_ns=0, end_ns=8_000_000, bytes=1_000_000)
+        assert s.throughput_bps == pytest.approx(1e9)
+
+    def test_mean_throughput_fallback_without_samples(self):
+        sim, tree, bg = run_background(duration_ns=20 * MS)
+        # default report interval (64 MB) not reached in 20 ms
+        assert not bg.samples
+        assert bg.mean_throughput_bps() > 0
+
+    def test_per_flow_filter(self):
+        sim, tree, bg = run_background(
+            duration_ns=80 * MS, report_interval_bytes=1_000_000
+        )
+        all_flows = bg.mean_throughput_bps()
+        flow0 = bg.mean_throughput_bps(flow_index=0)
+        assert all_flows > 0 and flow0 > 0

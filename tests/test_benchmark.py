@@ -1,0 +1,120 @@
+"""Tests for the production-cluster benchmark workload."""
+
+import pytest
+
+from repro.net.topology import build_two_tier
+from repro.sim.engine import Simulator
+from repro.workloads.benchmark import BenchmarkConfig, BenchmarkWorkload, FlowRecord
+from repro.workloads.protocols import spec_for
+
+
+def run_benchmark(**cfg_overrides):
+    defaults = dict(
+        n_queries=5,
+        n_background=5,
+        n_short_messages=2,
+        query_fanout=6,
+        max_flow_bytes=256 * 1024,
+    )
+    defaults.update(cfg_overrides)
+    sim = Simulator(seed=1)
+    tree = build_two_tier(sim)
+    wl = BenchmarkWorkload(sim, tree, spec_for("dctcp"), BenchmarkConfig(**defaults))
+    wl.run_to_completion(max_events=50_000_000)
+    return sim, wl
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkConfig(query_fanout=0)
+        with pytest.raises(ValueError):
+            BenchmarkConfig(to_aggregator_prob=1.5)
+        with pytest.raises(ValueError):
+            BenchmarkConfig(n_queries=-1)
+
+
+class TestCompletion:
+    def test_all_streams_complete(self):
+        sim, wl = run_benchmark()
+        assert wl.finished
+        by_cat = {}
+        for r in wl.records:
+            by_cat[r.category] = by_cat.get(r.category, 0) + 1
+        assert by_cat == {"query": 5, "background": 5, "short": 2}
+
+    def test_fcts_positive(self):
+        _, wl = run_benchmark()
+        for r in wl.records:
+            assert r.fct_ns > 0
+
+    def test_query_bytes(self):
+        _, wl = run_benchmark()
+        for r in wl.records:
+            if r.category == "query":
+                assert r.total_bytes == 6 * 2048
+
+    def test_flow_size_cap_applied(self):
+        _, wl = run_benchmark(max_flow_bytes=10_000)
+        for r in wl.records:
+            if r.category in ("background", "short"):
+                assert r.total_bytes <= 10_000
+
+    def test_streams_can_be_disabled(self):
+        _, wl = run_benchmark(n_background=0, n_short_messages=0)
+        assert {r.category for r in wl.records} == {"query"}
+
+    def test_queries_only_none(self):
+        _, wl = run_benchmark(n_queries=0, n_background=2, n_short_messages=0)
+        assert {r.category for r in wl.records} == {"background"}
+        assert wl.query_engine is None
+
+
+class TestQueryEngine:
+    def test_persistent_connections(self):
+        _, wl = run_benchmark(n_queries=4)
+        engine = wl.query_engine
+        assert len(engine.senders) == 6
+        # each connection carried all four responses
+        for delivered in engine.delivered:
+            assert delivered == 4 * 2048
+
+    def test_queries_complete_in_order_per_flow(self):
+        _, wl = run_benchmark(n_queries=4)
+        starts = [r.start_ns for r in wl.records if r.category == "query"]
+        ends = [r.end_ns for r in wl.records if r.category == "query"]
+        assert starts == sorted(starts)
+        assert all(e > s for s, e in zip(starts, ends))
+
+    def test_close_releases(self):
+        _, wl = run_benchmark()
+        wl.close()
+        assert all(s.closed for s in wl.query_engine.senders)
+
+
+class TestSummaries:
+    def test_fct_summary(self):
+        _, wl = run_benchmark()
+        s = wl.fct_summary_ms("query")
+        assert s.count == 5
+        assert s.mean > 0
+        assert s.p99 >= s.p95 >= 0
+
+    def test_timeout_total_by_category(self):
+        _, wl = run_benchmark()
+        assert wl.timeout_total("query") >= 0
+        assert wl.timeout_total("background") >= 0
+
+    def test_start_twice_rejected(self):
+        sim = Simulator(seed=1)
+        tree = build_two_tier(sim)
+        wl = BenchmarkWorkload(sim, tree, spec_for("dctcp"), BenchmarkConfig(n_queries=1, n_background=0, n_short_messages=0, query_fanout=2))
+        wl.start()
+        with pytest.raises(RuntimeError):
+            wl.start()
+
+
+class TestFlowRecord:
+    def test_fct(self):
+        r = FlowRecord("query", 100, 600, 2048, 0)
+        assert r.fct_ns == 500

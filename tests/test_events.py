@@ -1,0 +1,124 @@
+"""Unit + property tests for the event queue."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.events import Event, EventQueue
+
+
+def _collect(queue: EventQueue):
+    out = []
+    while True:
+        ev = queue.pop()
+        if ev is None:
+            return out
+        out.append(ev)
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        for t in (50, 10, 30, 20, 40):
+            q.push(t, lambda: None)
+        assert [e.time for e in _collect(q)] == [10, 20, 30, 40, 50]
+
+    def test_fifo_within_same_timestamp(self):
+        q = EventQueue()
+        order = []
+        for i in range(5):
+            q.push(100, order.append, (i,))
+        for ev in _collect(q):
+            ev.callback(*ev.args)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_event_lt_uses_seq_tiebreak(self):
+        a = Event(5, 1, lambda: None, ())
+        b = Event(5, 2, lambda: None, ())
+        assert a < b and not b < a
+
+    def test_empty_pop_returns_none(self):
+        assert EventQueue().pop() is None
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        keep = q.push(10, lambda: None)
+        drop = q.push(5, lambda: None)
+        q.cancel(drop)
+        assert q.pop() is keep
+        assert q.pop() is None
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        ev = q.push(1, lambda: None)
+        q.cancel(ev)
+        q.cancel(ev)
+        assert len(q) == 0
+
+    def test_cancel_releases_callback_references(self):
+        q = EventQueue()
+        payload = object()
+        ev = q.push(1, lambda x: None, (payload,))
+        q.cancel(ev)
+        assert ev.args == ()
+
+    def test_len_counts_live_only(self):
+        q = EventQueue()
+        events = [q.push(i, lambda: None) for i in range(4)]
+        q.cancel(events[1])
+        q.cancel(events[2])
+        assert len(q) == 2
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        first = q.push(1, lambda: None)
+        q.push(7, lambda: None)
+        q.cancel(first)
+        assert q.peek_time() == 7
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_clear(self):
+        q = EventQueue()
+        for i in range(3):
+            q.push(i, lambda: None)
+        q.clear()
+        assert len(q) == 0 and q.pop() is None
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), max_size=200))
+    def test_pop_order_is_sorted(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda: None)
+        popped = [e.time for e in _collect(q)]
+        assert popped == sorted(times)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=1000), st.booleans()),
+            max_size=100,
+        )
+    )
+    def test_cancelled_never_pop_and_live_all_pop(self, spec):
+        q = EventQueue()
+        live_times = []
+        for t, cancel in spec:
+            ev = q.push(t, lambda: None)
+            if cancel:
+                q.cancel(ev)
+            else:
+                live_times.append(t)
+        popped = [e.time for e in _collect(q)]
+        assert popped == sorted(live_times)
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=100))
+    def test_len_matches_live_count(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda: None)
+        assert len(q) == len(times)
+        q.pop()
+        assert len(q) == len(times) - 1

@@ -1,0 +1,172 @@
+"""Tests for the experiment drivers, registry and CLI plumbing."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentResult,
+    make_spec,
+    run_incast_point,
+    run_incast_sweep,
+)
+from repro.experiments.registry import describe, experiment_ids, get_runner
+from repro.experiments.runner import build_parser, main
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = experiment_ids()
+        for required in ("fig1", "fig2", "table1", "fig6", "fig7", "fig8",
+                         "fig9", "fig11", "fig12", "fig13", "fig14"):
+            assert required in ids
+
+    def test_get_runner_unknown(self):
+        with pytest.raises(KeyError):
+            get_runner("fig99")
+
+    def test_describe(self):
+        assert describe("fig1").startswith("fig1:")
+
+    def test_runners_callable(self):
+        for experiment_id in experiment_ids():
+            assert callable(get_runner(experiment_id))
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult("figX", "Title", ["a", "b"], [[1, 2], [3, 4]], ["note"])
+
+    def test_to_text(self):
+        text = self._result().to_text()
+        assert "figX: Title" in text
+        assert "note: note" in text
+
+    def test_to_csv(self):
+        csv_text = self._result().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+
+
+class TestMakeSpec:
+    def test_rto_override(self):
+        spec = make_spec("dctcp", rto_min_ms=10.0)
+        assert spec.tcp_config.rto_min_ns == 10_000_000
+
+    def test_floor_override(self):
+        spec = make_spec("tcp", min_cwnd_mss=1.0)
+        assert spec.tcp_config.min_cwnd_mss == 1.0
+
+    def test_plus_overrides(self):
+        spec = make_spec("dctcp+", plus_overrides={"divisor_factor": 3.0})
+        assert spec.plus_config.divisor_factor == 3.0
+
+
+class TestRunIncastPoint:
+    def test_point_aggregates_seeds(self):
+        point = run_incast_point("dctcp", 4, rounds=2, seeds=(1, 2))
+        assert point.rounds == 4  # 2 rounds x 2 seeds
+        assert point.goodput_mbps > 0
+        assert len(point.flow_stats) == 8  # 4 flows x 2 seeds
+
+    def test_queue_sampling_collects(self):
+        point = run_incast_point("dctcp", 2, rounds=1, seeds=(1,), sample_queue=True)
+        assert len(point.queue_samples_bytes) > 0
+
+    def test_background_attaches(self):
+        point = run_incast_point("dctcp", 2, rounds=1, seeds=(1,), with_background=True)
+        assert getattr(point, "bg_throughput_mbps", 0) > 0
+
+    def test_sweep_shape(self):
+        sweep = run_incast_sweep(("dctcp", "tcp"), (2, 4), rounds=1, seeds=(1,))
+        assert set(sweep) == {"dctcp", "tcp"}
+        assert [p.n_flows for p in sweep["dctcp"]] == [2, 4]
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.experiment == "fig7"
+        assert not args.paper
+
+    def test_list_mode(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig1" in capsys.readouterr().out
+
+
+class TestDriversSmoke:
+    """Each driver runs end-to-end at minimal scale and emits a table."""
+
+    def test_fig1(self):
+        from repro.experiments.fig01_goodput_collapse import run
+
+        result = run(n_values=(2, 4), rounds=1, seeds=(1,))
+        assert len(result.rows) == 2
+        assert result.to_text()
+
+    def test_fig2(self):
+        from repro.experiments.fig02_cwnd_distribution import run
+
+        result = run(n_values=(4,), rounds=1, seeds=(1,))
+        assert result.headers[0] == "cwnd (MSS)"
+        # frequencies within each column sum to ~1
+        for col in range(1, len(result.headers)):
+            total = sum(row[col] for row in result.rows)
+            assert total == pytest.approx(1.0, abs=0.02)
+
+    def test_table1(self):
+        from repro.experiments.table1_timeout_taxonomy import run
+
+        result = run(n_values=(4,), rounds=1, seeds=(1,))
+        assert len(result.rows) == 1
+        assert result.rows[0][0] == "N=4"
+
+    def test_fig6(self):
+        from repro.experiments.fig06_partial_dctcp_plus import run
+
+        result = run(n_values=(4,), rounds=1, seeds=(1,))
+        assert len(result.rows) == 1
+
+    def test_fig7(self):
+        from repro.experiments.fig07_full_dctcp_plus import run
+
+        result = run(n_values=(4,), rounds=1, seeds=(1,))
+        assert len(result.rows) == 1
+        assert len(result.headers) == 7
+
+    def test_fig8(self):
+        from repro.experiments.fig08_rto_10ms import run
+
+        result = run(n_values=(4,), rounds=1, seeds=(1,))
+        assert len(result.rows) == 1
+
+    def test_fig9(self):
+        from repro.experiments.fig09_queue_cdf import run
+
+        result = run(n_values=(4,), rounds=1, seeds=(1,))
+        # CDF columns are monotone non-decreasing in the threshold
+        for col in range(1, len(result.headers)):
+            probs = [row[col] for row in result.rows]
+            assert probs == sorted(probs)
+
+    def test_fig11(self):
+        from repro.experiments.fig11_12_background import run
+
+        result = run(n_values=(4,), rounds=1, seeds=(1,))
+        assert len(result.rows) == 1
+
+    def test_fig13(self):
+        from repro.experiments.fig13_benchmark import run
+
+        result = run(n_queries=3, n_background=3, n_short=1, query_fanout=4)
+        assert any(row[0] == "query" for row in result.rows)
+
+    def test_fig14(self):
+        from repro.experiments.fig14_initial_rounds import run
+
+        result = run(n_flows=4, bytes_per_flow=64 * 1024, rounds=1)
+        assert result.rows  # time series emitted

@@ -1,0 +1,156 @@
+"""Tests for the incast workload (rounds, barrier, persistence)."""
+
+import pytest
+
+from repro.net.topology import build_two_tier
+from repro.sim.engine import Simulator
+from repro.sim.units import MS
+from repro.workloads.incast import IncastConfig, IncastWorkload
+from repro.workloads.protocols import spec_for
+
+
+def run_workload(n_flows=4, n_rounds=3, protocol="dctcp", **cfg_overrides):
+    sim = Simulator(seed=1)
+    tree = build_two_tier(sim)
+    config = IncastConfig(n_flows=n_flows, n_rounds=n_rounds, **cfg_overrides)
+    workload = IncastWorkload(sim, tree, spec_for(protocol), config)
+    workload.run_to_completion(max_events=20_000_000)
+    return sim, tree, workload
+
+
+class TestConfig:
+    def test_sru_split(self):
+        cfg = IncastConfig(n_flows=8, total_bytes=1024 * 1024)
+        assert cfg.sru_bytes == 131072
+        assert cfg.round_bytes == 1024 * 1024
+
+    def test_bytes_per_flow_override(self):
+        cfg = IncastConfig(n_flows=8, bytes_per_flow=4096)
+        assert cfg.sru_bytes == 4096
+        assert cfg.round_bytes == 8 * 4096
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IncastConfig(n_flows=0)
+        with pytest.raises(ValueError):
+            IncastConfig(n_flows=10, total_bytes=5)
+        with pytest.raises(ValueError):
+            IncastConfig(n_flows=1, n_rounds=0)
+
+
+class TestRounds:
+    def test_all_rounds_complete(self):
+        _, _, wl = run_workload(n_flows=4, n_rounds=3)
+        assert wl.finished
+        assert len(wl.rounds) == 3
+        assert all(r.completed for r in wl.rounds)
+
+    def test_round_bytes_accounted(self):
+        _, _, wl = run_workload(n_flows=4, n_rounds=2)
+        for r in wl.rounds:
+            assert r.bytes_received == wl.config.round_bytes
+
+    def test_rounds_are_sequential(self):
+        _, _, wl = run_workload(n_flows=4, n_rounds=3)
+        starts = [r.start_ns for r in wl.rounds]
+        assert starts == sorted(starts)
+        for prev, nxt in zip(wl.rounds, wl.rounds[1:]):
+            assert nxt.start_ns >= prev.start_ns + prev.duration_ns
+
+    def test_goodput_positive_and_bounded(self):
+        _, _, wl = run_workload(n_flows=4, n_rounds=2)
+        assert 0 < wl.mean_goodput_bps < 1e9
+
+    def test_round_end_callback(self):
+        seen = []
+        sim = Simulator(seed=1)
+        tree = build_two_tier(sim)
+        wl = IncastWorkload(
+            sim, tree, spec_for("dctcp"), IncastConfig(n_flows=2, n_rounds=2),
+            on_round_end=seen.append,
+        )
+        wl.run_to_completion(max_events=10_000_000)
+        assert [r.index for r in seen] == [0, 1]
+
+
+class TestPersistence:
+    def test_connections_reused_across_rounds(self):
+        _, _, wl = run_workload(n_flows=3, n_rounds=3)
+        assert len(wl.senders) == 3  # not 3 flows x 3 rounds
+        for sender in wl.senders:
+            assert sender.stats.total_bytes == 3 * wl.config.sru_bytes
+
+    def test_flows_spread_round_robin(self):
+        sim = Simulator(seed=1)
+        tree = build_two_tier(sim)
+        wl = IncastWorkload(
+            sim, tree, spec_for("dctcp"), IncastConfig(n_flows=12, n_rounds=1)
+        )
+        hosts = [s.host for s in wl.senders]
+        assert hosts[0] is tree.servers[0]
+        assert hosts[9] is tree.servers[0]  # wraps after 9 servers
+        assert hosts[10] is tree.servers[1]
+
+    def test_close_releases_endpoints(self):
+        sim, tree, wl = run_workload(n_flows=2, n_rounds=1)
+        wl.close()
+        assert all(s.closed for s in wl.senders)
+        assert all(r.closed for r in wl.receivers)
+
+    def test_start_twice_rejected(self):
+        sim = Simulator(seed=1)
+        tree = build_two_tier(sim)
+        wl = IncastWorkload(sim, tree, spec_for("dctcp"), IncastConfig(n_flows=1, n_rounds=1))
+        wl.start()
+        with pytest.raises(RuntimeError):
+            wl.start()
+
+
+class TestDeadline:
+    def test_deadline_marks_round_failed(self):
+        sim = Simulator(seed=1)
+        tree = build_two_tier(sim)
+        # 1-byte-per-flow rounds with an absurdly short deadline
+        config = IncastConfig(
+            n_flows=2, n_rounds=1, round_deadline_ns=1000
+        )
+        wl = IncastWorkload(sim, tree, spec_for("dctcp"), config)
+        wl.run_to_completion(max_events=10_000_000)
+        assert len(wl.rounds) == 1
+        assert not wl.rounds[0].completed
+
+
+class TestRequestSpacing:
+    def test_requests_staggered(self):
+        """With spacing S the k-th worker starts ~k*S after the first."""
+        sim = Simulator(seed=1)
+        tree = build_two_tier(sim)
+        config = IncastConfig(n_flows=4, n_rounds=1, request_spacing_ns=1 * MS)
+        wl = IncastWorkload(sim, tree, spec_for("dctcp"), config)
+        wl.run_to_completion(max_events=10_000_000)
+        starts = sorted(s.stats.start_time_ns for s in wl.senders)
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        for gap in gaps:
+            assert gap == pytest.approx(1 * MS, rel=0.1)
+
+    def test_zero_spacing_back_to_back(self):
+        sim = Simulator(seed=1)
+        tree = build_two_tier(sim)
+        config = IncastConfig(n_flows=4, n_rounds=1, request_spacing_ns=0)
+        wl = IncastWorkload(sim, tree, spec_for("dctcp"), config)
+        wl.run_to_completion(max_events=10_000_000)
+        starts = [s.stats.start_time_ns for s in wl.senders]
+        assert max(starts) - min(starts) < 50_000  # only NIC serialization
+
+
+class TestJitter:
+    def test_start_jitter_spreads_starts(self):
+        sim = Simulator(seed=1)
+        tree = build_two_tier(sim)
+        config = IncastConfig(
+            n_flows=6, n_rounds=1, request_spacing_ns=0, start_jitter_ns=2 * MS
+        )
+        wl = IncastWorkload(sim, tree, spec_for("dctcp"), config)
+        wl.run_to_completion(max_events=10_000_000)
+        starts = [s.stats.start_time_ns for s in wl.senders]
+        assert max(starts) - min(starts) > 100_000

@@ -1,0 +1,131 @@
+"""Tests for links and output ports (serialization/propagation pump)."""
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.node import Node
+from repro.net.packet import make_data_packet
+from repro.net.port import OutputPort
+from repro.net.queues import DropTailQueue
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS
+
+
+class Sink(Node):
+    """Records (arrival_time, packet)."""
+
+    __slots__ = ("arrivals",)
+
+    def __init__(self, sim):
+        super().__init__(sim, "sink")
+        self.arrivals = []
+
+    def receive(self, packet):
+        self.arrivals.append((self.sim.now, packet))
+
+
+def make_port(sim, sink, rate=GBPS, prop=10_000, capacity=1_000_000):
+    link = Link(sink, rate, prop)
+    return OutputPort(sim, link, DropTailQueue(capacity, None))
+
+
+class TestLink:
+    def test_serialization_delay(self):
+        link = Link(None, GBPS, 0)
+        pkt = make_data_packet(1, 0, 1, seq=0, payload_len=1460)
+        assert link.serialization_delay(pkt) == 12_000  # 1500 B at 1 Gbps
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            Link(None, 0, 10)
+
+    def test_rejects_negative_prop(self):
+        with pytest.raises(ValueError):
+            Link(None, GBPS, -1)
+
+    def test_delivery_counters(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        port = make_port(sim, sink)
+        port.send(make_data_packet(1, 0, sink.node_id, seq=0, payload_len=1460))
+        sim.run_until_idle()
+        assert port.link.delivered_packets == 1
+        assert port.link.delivered_bytes == 1500
+
+
+class TestOutputPort:
+    def test_single_packet_timing(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        port = make_port(sim, sink, prop=10_000)
+        port.send(make_data_packet(1, 0, sink.node_id, seq=0, payload_len=1460))
+        sim.run_until_idle()
+        # 12 us serialization + 10 us propagation
+        assert sink.arrivals[0][0] == 22_000
+
+    def test_back_to_back_spacing_is_serialization(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        port = make_port(sim, sink)
+        for i in range(3):
+            port.send(make_data_packet(1, 0, sink.node_id, seq=i, payload_len=1460))
+        sim.run_until_idle()
+        times = [t for t, _ in sink.arrivals]
+        assert times[1] - times[0] == 12_000
+        assert times[2] - times[1] == 12_000
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        port = make_port(sim, sink)
+        pkts = [
+            make_data_packet(1, 0, sink.node_id, seq=i, payload_len=100)
+            for i in range(10)
+        ]
+        for p in pkts:
+            port.send(p)
+        sim.run_until_idle()
+        assert [p for _, p in sink.arrivals] == pkts
+
+    def test_pump_restarts_after_idle(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        port = make_port(sim, sink)
+        port.send(make_data_packet(1, 0, sink.node_id, seq=0, payload_len=1460))
+        sim.run_until_idle()
+        t_first = sink.arrivals[0][0]
+        port.send(make_data_packet(1, 0, sink.node_id, seq=1, payload_len=1460))
+        sim.run_until_idle()
+        assert sink.arrivals[1][0] == sim.now
+        assert sink.arrivals[1][0] > t_first
+
+    def test_send_returns_false_on_drop(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        port = make_port(sim, sink, capacity=1500)
+        # first packet starts serializing immediately (leaves the queue),
+        # second occupies the whole buffer, third is tail-dropped
+        assert port.send(make_data_packet(1, 0, sink.node_id, seq=0, payload_len=1460))
+        assert port.send(make_data_packet(1, 0, sink.node_id, seq=1, payload_len=1460))
+        assert not port.send(
+            make_data_packet(1, 0, sink.node_id, seq=2, payload_len=1460)
+        )
+
+    def test_backlog_excludes_in_flight_frame(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        port = make_port(sim, sink)
+        port.send(make_data_packet(1, 0, sink.node_id, seq=0, payload_len=1460))
+        port.send(make_data_packet(1, 0, sink.node_id, seq=1, payload_len=1460))
+        # first frame started serializing immediately, second waits
+        assert port.backlog_bytes == 1500
+
+    def test_tx_counters(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        port = make_port(sim, sink)
+        for i in range(4):
+            port.send(make_data_packet(1, 0, sink.node_id, seq=i, payload_len=1460))
+        sim.run_until_idle()
+        assert port.tx_packets == 4
+        assert port.tx_bytes == 4 * 1500

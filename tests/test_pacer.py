@@ -1,0 +1,71 @@
+"""Tests for the slow_time pacer (hrtimer-deferral semantics)."""
+
+import random
+
+from repro.core.config import DctcpPlusConfig
+from repro.core.pacer import SlowTimePacer
+from repro.core.state_machine import SlowTimeStateMachine
+from repro.core.states import DctcpPlusState
+from repro.sim.units import US
+
+
+def make(slow_time=0, state=DctcpPlusState.NORMAL):
+    machine = SlowTimeStateMachine(DctcpPlusConfig(), random.Random(1))
+    machine.state = state
+    machine.slow_time_ns = slow_time
+    return machine, SlowTimePacer(machine)
+
+
+class TestNormalState:
+    def test_no_delay_in_normal(self):
+        _, pacer = make()
+        assert pacer.next_send_time(1000) == 1000
+
+    def test_zero_slow_time_no_delay(self):
+        _, pacer = make(slow_time=0, state=DctcpPlusState.TIME_INC)
+        assert pacer.next_send_time(1000) == 1000
+
+    def test_return_to_normal_clears_pending(self):
+        machine, pacer = make(slow_time=100 * US, state=DctcpPlusState.TIME_INC)
+        assert pacer.next_send_time(0) == 100 * US
+        machine.state = DctcpPlusState.NORMAL
+        assert pacer.next_send_time(10) == 10
+
+
+class TestDeferral:
+    def test_each_attempt_deferred_by_slow_time(self):
+        """The delay adds to the ACK clock: an attempt at t departs at
+        t + slow_time (not max(rate limit, ack clock))."""
+        _, pacer = make(slow_time=300 * US, state=DctcpPlusState.TIME_INC)
+        assert pacer.next_send_time(1_000_000) == 1_000_000 + 300 * US
+
+    def test_held_packet_keeps_its_release(self):
+        _, pacer = make(slow_time=300 * US, state=DctcpPlusState.TIME_INC)
+        release = pacer.next_send_time(0)
+        # re-querying while waiting must not push the release further out
+        assert pacer.next_send_time(100 * US) == release
+        assert pacer.next_send_time(release) == release
+
+    def test_consecutive_packets_spaced_by_slow_time(self):
+        _, pacer = make(slow_time=200 * US, state=DctcpPlusState.TIME_INC)
+        r1 = pacer.next_send_time(0)
+        pacer.on_sent(r1)
+        r2 = pacer.next_send_time(r1)
+        assert r2 - r1 == 200 * US
+
+    def test_delay_statistics(self):
+        _, pacer = make(slow_time=100 * US, state=DctcpPlusState.TIME_DES)
+        r = pacer.next_send_time(0)
+        pacer.on_sent(r)
+        pacer.next_send_time(r)
+        assert pacer.delayed_packets == 2
+        assert pacer.total_delay_ns == 200 * US
+
+    def test_slow_time_change_applies_to_next_packet(self):
+        machine, pacer = make(slow_time=100 * US, state=DctcpPlusState.TIME_INC)
+        r1 = pacer.next_send_time(0)
+        assert r1 == 100 * US
+        machine.slow_time_ns = 400 * US  # grew while waiting
+        assert pacer.next_send_time(50 * US) == r1  # held packet unchanged
+        pacer.on_sent(r1)
+        assert pacer.next_send_time(r1) == r1 + 400 * US

@@ -1,0 +1,60 @@
+"""Tests for the packet model."""
+
+from repro.net.packet import (
+    ACK_BYTES,
+    HEADER_BYTES,
+    Packet,
+    make_ack_packet,
+    make_data_packet,
+)
+
+
+class TestDataPacket:
+    def test_wire_size_includes_header(self):
+        pkt = make_data_packet(1, 10, 20, seq=0, payload_len=1460)
+        assert pkt.wire_bytes == 1460 + HEADER_BYTES
+
+    def test_end_seq(self):
+        pkt = make_data_packet(1, 10, 20, seq=1000, payload_len=500)
+        assert pkt.end_seq == 1500
+
+    def test_ect_flag(self):
+        assert make_data_packet(1, 0, 1, seq=0, payload_len=1, ect=True).ect
+        assert not make_data_packet(1, 0, 1, seq=0, payload_len=1).ect
+
+    def test_ce_starts_clear(self):
+        assert not make_data_packet(1, 0, 1, seq=0, payload_len=1, ect=True).ce
+
+    def test_retransmit_flag(self):
+        pkt = make_data_packet(1, 0, 1, seq=0, payload_len=1, is_retransmit=True)
+        assert pkt.is_retransmit
+
+    def test_unique_ids(self):
+        a = make_data_packet(1, 0, 1, seq=0, payload_len=1)
+        b = make_data_packet(1, 0, 1, seq=0, payload_len=1)
+        assert a.packet_id != b.packet_id
+
+
+class TestAckPacket:
+    def test_fixed_wire_size(self):
+        ack = make_ack_packet(1, 20, 10, ack_seq=5000)
+        assert ack.wire_bytes == ACK_BYTES
+        assert ack.is_ack
+
+    def test_ece_echo(self):
+        assert make_ack_packet(1, 0, 1, ack_seq=0, ece=True).ece
+        assert not make_ack_packet(1, 0, 1, ack_seq=0).ece
+
+    def test_addressing(self):
+        ack = make_ack_packet(9, 20, 10, ack_seq=42)
+        assert (ack.flow_id, ack.src, ack.dst, ack.ack_seq) == (9, 20, 10, 42)
+
+
+class TestExplicitWireBytes:
+    def test_control_packet_size(self):
+        pkt = Packet(1, 0, 1, wire_bytes=64)
+        assert pkt.wire_bytes == 64
+
+    def test_default_derives_from_payload(self):
+        pkt = Packet(1, 0, 1, payload_len=100)
+        assert pkt.wire_bytes == 100 + HEADER_BYTES

@@ -1,0 +1,76 @@
+"""Smoke matrix: every protocol variant completes every workload shape.
+
+Broad-but-shallow coverage that catches wiring regressions (factory,
+demux, timers, close paths) across the full protocol set without pinning
+any performance number.
+"""
+
+import pytest
+
+from repro.net.topology import build_two_tier
+from repro.sim.engine import Simulator
+from repro.workloads.background import BackgroundTraffic
+from repro.workloads.benchmark import BenchmarkConfig, BenchmarkWorkload
+from repro.workloads.incast import IncastConfig, IncastWorkload
+from repro.workloads.protocols import PROTOCOLS, spec_for
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestIncastMatrix:
+    def test_small_incast_completes(self, protocol):
+        sim = Simulator(seed=3)
+        tree = build_two_tier(sim)
+        wl = IncastWorkload(
+            sim, tree, spec_for(protocol), IncastConfig(n_flows=6, n_rounds=2)
+        )
+        wl.run_to_completion(max_events=40_000_000)
+        assert wl.finished
+        assert all(r.completed for r in wl.rounds)
+        assert wl.mean_goodput_bps > 0
+        wl.close()
+
+    def test_single_flow_degenerate_case(self, protocol):
+        sim = Simulator(seed=3)
+        tree = build_two_tier(sim)
+        wl = IncastWorkload(
+            sim, tree, spec_for(protocol), IncastConfig(n_flows=1, n_rounds=1)
+        )
+        wl.run_to_completion(max_events=20_000_000)
+        assert wl.finished
+        # one flow over a clean path: near line rate, no timeouts
+        assert wl.total_timeouts == 0
+        assert wl.mean_goodput_bps > 700e6
+        wl.close()
+
+
+@pytest.mark.parametrize("protocol", ("tcp", "dctcp", "dctcp+", "d2tcp+"))
+def test_background_matrix(protocol):
+    sim = Simulator(seed=3)
+    tree = build_two_tier(sim)
+    bg = BackgroundTraffic(sim, tree, spec_for(protocol))
+    bg.start()
+    sim.run(until=30_000_000)
+    assert bg.total_delivered_bytes > 1_000_000
+    bg.stop()
+
+
+@pytest.mark.parametrize("protocol", ("dctcp", "dctcp+"))
+def test_benchmark_matrix(protocol):
+    sim = Simulator(seed=3)
+    tree = build_two_tier(sim)
+    wl = BenchmarkWorkload(
+        sim,
+        tree,
+        spec_for(protocol),
+        BenchmarkConfig(
+            n_queries=3,
+            n_background=3,
+            n_short_messages=1,
+            query_fanout=5,
+            max_flow_bytes=128 * 1024,
+        ),
+    )
+    wl.run_to_completion(max_events=40_000_000)
+    assert wl.finished
+    assert len(wl.records) == 7
+    wl.close()

@@ -1,0 +1,69 @@
+"""Tests for the protocol registry/factory."""
+
+import pytest
+
+from repro.core.dctcp_plus import DctcpPlusSender
+from repro.net.topology import build_dumbbell
+from repro.sim.engine import Simulator
+from repro.tcp.dctcp import DctcpSender
+from repro.tcp.sender import TcpSender
+from repro.workloads.ids import next_flow_id
+from repro.workloads.protocols import PROTOCOLS, ProtocolSpec, spec_for
+
+
+class TestSpec:
+    def test_known_protocols(self):
+        assert set(PROTOCOLS) == {
+            "tcp", "dctcp", "dctcp+", "dctcp+norand", "tcp+", "d2tcp", "d2tcp+"
+        }
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            spec_for("cubic")
+
+    def test_labels(self):
+        assert spec_for("tcp").label == "TCP"
+        assert spec_for("dctcp+").label == "DCTCP+"
+        assert spec_for("dctcp+norand").label == "DCTCP+ (no desync)"
+
+    def test_norand_forces_randomize_off(self):
+        spec = spec_for("dctcp+norand")
+        assert not spec.plus_config.randomize
+
+    def test_plus_flag(self):
+        assert spec_for("dctcp+").is_plus
+        assert spec_for("dctcp+norand").is_plus
+        assert not spec_for("dctcp").is_plus
+
+    def test_overrides_forwarded(self):
+        spec = spec_for("dctcp", tcp_overrides={"rto_min_ns": 123456})
+        assert spec.tcp_config.rto_min_ns == 123456
+        spec = spec_for("dctcp+", plus_overrides={"divisor_factor": 4.0})
+        assert spec.plus_config.divisor_factor == 4.0
+
+
+class TestMakeSender:
+    def _make(self, name):
+        sim = Simulator()
+        tree = build_dumbbell(sim, n_senders=1)
+        spec = spec_for(name)
+        return spec.make_sender(sim, tree.servers[0], tree.aggregator.node_id, next_flow_id())
+
+    def test_tcp_sender_type_and_no_ecn(self):
+        s = self._make("tcp")
+        assert type(s) is TcpSender
+        assert not s.config.ecn_enabled
+
+    def test_dctcp_sender_type(self):
+        s = self._make("dctcp")
+        assert type(s) is DctcpSender
+        assert s.config.ecn_enabled
+
+    def test_plus_sender_type(self):
+        s = self._make("dctcp+")
+        assert isinstance(s, DctcpPlusSender)
+
+    def test_norand_sender_machine_not_randomized(self):
+        s = self._make("dctcp+norand")
+        assert isinstance(s, DctcpPlusSender)
+        assert not s.machine.config.randomize

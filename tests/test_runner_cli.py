@@ -1,0 +1,63 @@
+"""CLI end-to-end tests for ``python -m repro.experiments``."""
+
+import pytest
+
+from repro.experiments.runner import _kwargs_for, build_parser, main
+
+
+class TestKwargsMapping:
+    def test_rounds_and_seeds_forwarded(self):
+        args = build_parser().parse_args(["fig1", "--rounds", "3", "--seeds", "2"])
+        kwargs = _kwargs_for("fig1", args)
+        assert kwargs["rounds"] == 3
+        assert kwargs["seeds"] == (1, 2)
+
+    def test_paper_flag_defaults(self):
+        args = build_parser().parse_args(["fig1", "--paper"])
+        kwargs = _kwargs_for("fig1", args)
+        assert kwargs["rounds"] == 100
+        assert len(kwargs["seeds"]) == 10
+
+    def test_explicit_overrides_beat_paper(self):
+        args = build_parser().parse_args(["fig1", "--paper", "--rounds", "7"])
+        assert _kwargs_for("fig1", args)["rounds"] == 7
+
+    def test_fig13_paper_scale(self):
+        args = build_parser().parse_args(["fig13", "--paper"])
+        kwargs = _kwargs_for("fig13", args)
+        assert kwargs["n_queries"] == 7000
+        assert kwargs["max_flow_bytes"] is None
+
+    def test_fig14_takes_no_sweep_kwargs(self):
+        args = build_parser().parse_args(["fig14", "--rounds", "5"])
+        assert _kwargs_for("fig14", args) == {}
+
+
+class TestMainExecution:
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["nope"])
+
+    def _patch_fig1(self, monkeypatch):
+        from repro.experiments import registry
+        from repro.experiments.common import ExperimentResult
+
+        def tiny_run(**kwargs):
+            return ExperimentResult("fig1", "stub", ["a"], [[1]], ["n"])
+
+        monkeypatch.setitem(registry._MODULES, "fig1", type(
+            "M", (), {"run": staticmethod(tiny_run), "EXPERIMENT_ID": "fig1", "TITLE": "stub"}
+        ))
+
+    def test_table_output(self, capsys, monkeypatch):
+        self._patch_fig1(monkeypatch)
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1: stub" in out
+        assert "wall clock" in out
+
+    def test_csv_output(self, capsys, monkeypatch):
+        self._patch_fig1(monkeypatch)
+        assert main(["fig1", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "a"

@@ -1,0 +1,116 @@
+"""Property/fuzz tests: TCP sender state invariants under arbitrary ACKs.
+
+The sender is fed randomized (possibly nonsensical-but-wire-legal) ACK
+sequences and arbitrary timer firings; whatever happens, the core
+sequence-space invariants must hold.  This is the class of test that
+catches state-machine corruption that scenario tests never exercise.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dctcp_plus import DctcpPlusSender
+from repro.net.packet import make_ack_packet
+from repro.net.topology import build_dumbbell
+from repro.sim.engine import Simulator
+from repro.sim.units import MS, US
+from repro.tcp.config import TcpConfig
+from repro.tcp.dctcp import DctcpSender
+from repro.tcp.sender import TcpSender
+from repro.workloads.ids import next_flow_id
+
+MSS = 1460
+TOTAL = 30 * MSS
+
+
+def build(sender_cls):
+    sim = Simulator(seed=1)
+    tree = build_dumbbell(sim, n_senders=1)
+    cfg = TcpConfig(seed_rtt_ns=100 * US, rto_min_ns=2 * MS)
+    sender = sender_cls(
+        sim, tree.servers[0], tree.aggregator.node_id, next_flow_id(), config=cfg
+    )
+    sender.send(TOTAL)
+    sim.run(until=1)
+    return sim, sender
+
+
+def check_invariants(sender):
+    assert 0 <= sender.snd_una <= sender.snd_nxt <= sender.total_bytes
+    assert sender.bytes_in_flight >= 0
+    assert sender.cwnd >= sender.config.mss  # never below one segment
+    assert sender.ssthresh >= sender.config.mss
+    assert sender.dupacks >= 0
+    if sender.completed:
+        assert sender.snd_una >= sender.total_bytes
+    machine = getattr(sender, "machine", None)
+    if machine is not None:
+        assert machine.slow_time_ns >= 0
+
+
+ACK_STEPS = st.lists(
+    st.tuples(
+        # ack sequence offset in segments (may repeat / go "backwards")
+        st.integers(min_value=0, max_value=30),
+        st.booleans(),  # ECE flag
+        # time to advance before the ACK (can cross RTO boundaries)
+        st.integers(min_value=0, max_value=3_000_000),
+    ),
+    max_size=60,
+)
+
+
+class TestAckFuzz:
+    @settings(max_examples=40, deadline=None)
+    @given(steps=ACK_STEPS)
+    def test_newreno_invariants(self, steps):
+        sim, sender = build(TcpSender)
+        self._drive(sim, sender, steps)
+
+    @settings(max_examples=40, deadline=None)
+    @given(steps=ACK_STEPS)
+    def test_dctcp_invariants(self, steps):
+        sim, sender = build(DctcpSender)
+        self._drive(sim, sender, steps)
+        assert 0.0 <= sender.alpha <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(steps=ACK_STEPS)
+    def test_dctcp_plus_invariants(self, steps):
+        sim, sender = build(DctcpPlusSender)
+        self._drive(sim, sender, steps)
+
+    @staticmethod
+    def _drive(sim, sender, steps):
+        for seg_offset, ece, delay in steps:
+            if delay:
+                sim.run(until=sim.now + delay)
+            ack_seq = min(seg_offset * MSS, TOTAL)
+            sender.on_packet(
+                make_ack_packet(
+                    sender.flow_id, sender.dst_node_id, sender.host.node_id,
+                    ack_seq, ece=ece,
+                )
+            )
+            check_invariants(sender)
+        # drain whatever the fuzz left behind; state must stay legal
+        sim.run(until=sim.now + 10_000_000, max_events=500_000)
+        check_invariants(sender)
+
+
+class TestMonotonicity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        acks=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=40)
+    )
+    def test_snd_una_never_regresses(self, acks):
+        sim, sender = build(TcpSender)
+        high_water = 0
+        for seg in acks:
+            sender.on_packet(
+                make_ack_packet(
+                    sender.flow_id, sender.dst_node_id, sender.host.node_id,
+                    min(seg * MSS, TOTAL),
+                )
+            )
+            assert sender.snd_una >= high_water
+            high_water = sender.snd_una

@@ -1,0 +1,135 @@
+"""Tests for the dynamically shared buffer switch variant."""
+
+import pytest
+
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.net.packet import make_data_packet
+from repro.net.shared_buffer import SharedBufferSwitch
+from repro.net.switch import Switch
+from repro.sim.engine import Simulator
+
+
+def wire(sim, switch):
+    """Two hosts behind one switch."""
+    a, b = Host(sim, "a"), Host(sim, "b")
+    a.attach_link(Link(switch))
+    b.attach_link(Link(switch))
+    pa = switch.add_port(Link(a))
+    pb = switch.add_port(Link(b))
+    switch.add_route(a.node_id, pa)
+    switch.add_route(b.node_id, pb)
+    return a, b, pa, pb
+
+
+def fill(port, n, dst, size=1460):
+    sent = 0
+    for i in range(n):
+        if port.send(make_data_packet(1, 0, dst, seq=i * size, payload_len=size)):
+            sent += 1
+    return sent
+
+
+class TestAdmission:
+    def test_single_port_can_use_whole_pool(self):
+        sim = Simulator()
+        switch = SharedBufferSwitch(sim, shared_pool_bytes=15_000)
+        a, b, pa, pb = wire(sim, switch)
+        # 10 x 1500 B = 15 KB fits the pool on one port (1 extra is in
+        # the serializer, so offer 11)
+        sent = fill(pa, 11, a.node_id)
+        assert sent == 11
+        assert pa.queue.dropped_packets == 0
+
+    def test_pool_exhaustion_drops(self):
+        sim = Simulator()
+        switch = SharedBufferSwitch(sim, shared_pool_bytes=6_000)
+        a, b, pa, pb = wire(sim, switch)
+        fill(pa, 10, a.node_id)
+        assert switch.pool_drops > 0
+
+    def test_pool_shared_across_ports(self):
+        sim = Simulator()
+        switch = SharedBufferSwitch(sim, shared_pool_bytes=6_000)
+        a, b, pa, pb = wire(sim, switch)
+        fill(pa, 5, a.node_id)  # ~4 queued = 6 KB
+        # pool is now full: the other port gets nothing
+        assert fill(pb, 3, b.node_id) < 3
+        assert switch.pool_drops > 0
+
+    def test_per_port_cap_limits_monopoly(self):
+        sim = Simulator()
+        switch = SharedBufferSwitch(
+            sim, shared_pool_bytes=30_000, per_port_cap_bytes=4_500
+        )
+        a, b, pa, pb = wire(sim, switch)
+        fill(pa, 10, a.node_id)
+        assert pa.queue.occupancy_bytes <= 4_500
+        # pool still has room for the other port
+        assert fill(pb, 2, b.node_id) == 2
+
+    def test_pool_occupancy_accounting(self):
+        sim = Simulator()
+        switch = SharedBufferSwitch(sim, shared_pool_bytes=100_000)
+        a, b, pa, pb = wire(sim, switch)
+        fill(pa, 3, a.node_id)
+        fill(pb, 2, b.node_id)
+        expected = pa.queue.occupancy_bytes + pb.queue.occupancy_bytes
+        assert switch.pool_occupancy_bytes == expected
+
+    def test_validates_pool_size(self):
+        with pytest.raises(ValueError):
+            SharedBufferSwitch(Simulator(), shared_pool_bytes=0)
+
+
+class TestForwarding:
+    def test_routes_and_unroutable(self):
+        sim = Simulator()
+        switch = SharedBufferSwitch(sim)
+        a, b, pa, pb = wire(sim, switch)
+
+        class Sink:
+            def __init__(self):
+                self.n = 0
+
+            def on_packet(self, p):
+                self.n += 1
+
+        sink = Sink()
+        b.register_flow(9, sink)
+        a.send(make_data_packet(9, a.node_id, b.node_id, seq=0, payload_len=10))
+        sim.run_until_idle()
+        assert sink.n == 1
+        a.send(make_data_packet(9, a.node_id, 424242, seq=0, payload_len=10))
+        sim.run_until_idle()
+        assert switch.unroutable_drops == 1
+
+    def test_foreign_port_rejected(self):
+        sim = Simulator()
+        switch = SharedBufferSwitch(sim)
+        other = Switch(sim, "other")
+        host = Host(sim, "h")
+        foreign = other.add_port(Link(host))
+        with pytest.raises(ValueError):
+            switch.add_route(host.node_id, foreign)
+
+
+class TestBurstAbsorption:
+    def test_shared_pool_absorbs_bigger_incast_burst_than_static(self):
+        """The motivation: the same fan-in burst that overflows a 128 KB
+        static port fits a 512 KB shared pool."""
+
+        def burst_drops(switch_factory):
+            sim = Simulator()
+            switch = switch_factory(sim)
+            a, b, pa, pb = wire(sim, switch)
+            # 200-packet synchronized burst to one port (300 KB)
+            fill(pa, 200, a.node_id)
+            return pa.queue.dropped_packets + getattr(switch, "pool_drops", 0)
+
+        static = burst_drops(lambda sim: Switch(sim, buffer_bytes=128 * 1024))
+        shared = burst_drops(
+            lambda sim: SharedBufferSwitch(sim, shared_pool_bytes=512 * 1024)
+        )
+        assert static > 0
+        assert shared == 0

@@ -1,0 +1,113 @@
+"""Tests for switch forwarding and host demux."""
+
+import pytest
+
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.net.packet import Packet, make_data_packet
+from repro.net.switch import Switch
+from repro.sim.engine import Simulator
+
+
+class Endpoint:
+    def __init__(self):
+        self.packets = []
+
+    def on_packet(self, packet):
+        self.packets.append(packet)
+
+
+def wire(sim):
+    """host_a -> switch -> host_b."""
+    switch = Switch(sim, "sw")
+    a, b = Host(sim, "a"), Host(sim, "b")
+    a.attach_link(Link(switch))
+    b.attach_link(Link(switch))
+    pa = switch.add_port(Link(a))
+    pb = switch.add_port(Link(b))
+    switch.add_route(a.node_id, pa)
+    switch.add_route(b.node_id, pb)
+    return switch, a, b
+
+
+class TestSwitch:
+    def test_forwards_by_destination(self):
+        sim = Simulator()
+        switch, a, b = wire(sim)
+        ep = Endpoint()
+        b.register_flow(1, ep)
+        a.send(make_data_packet(1, a.node_id, b.node_id, seq=0, payload_len=100))
+        sim.run_until_idle()
+        assert len(ep.packets) == 1
+
+    def test_unroutable_counted_and_dropped(self):
+        sim = Simulator()
+        switch, a, b = wire(sim)
+        a.send(make_data_packet(1, a.node_id, 99_999, seq=0, payload_len=100))
+        sim.run_until_idle()
+        assert switch.unroutable_drops == 1
+
+    def test_route_must_use_own_port(self):
+        sim = Simulator()
+        switch, a, b = wire(sim)
+        other = Switch(sim, "other")
+        foreign_port = other.add_port(Link(a))
+        with pytest.raises(ValueError):
+            switch.add_route(a.node_id, foreign_port)
+
+    def test_ports_have_independent_buffers(self):
+        sim = Simulator()
+        switch, a, b = wire(sim)
+        port_a = switch.route_for(a.node_id)
+        port_b = switch.route_for(b.node_id)
+        assert port_a.queue is not port_b.queue
+
+    def test_route_for_unknown_is_none(self):
+        sim = Simulator()
+        switch, _, _ = wire(sim)
+        assert switch.route_for(123456) is None
+
+
+class TestHost:
+    def test_demux_by_flow_id(self):
+        sim = Simulator()
+        switch, a, b = wire(sim)
+        ep1, ep2 = Endpoint(), Endpoint()
+        b.register_flow(1, ep1)
+        b.register_flow(2, ep2)
+        a.send(make_data_packet(2, a.node_id, b.node_id, seq=0, payload_len=10))
+        sim.run_until_idle()
+        assert not ep1.packets and len(ep2.packets) == 1
+
+    def test_duplicate_registration_rejected(self):
+        sim = Simulator()
+        host = Host(sim, "h")
+        host.register_flow(1, Endpoint())
+        with pytest.raises(ValueError):
+            host.register_flow(1, Endpoint())
+
+    def test_unregister_allows_reuse(self):
+        sim = Simulator()
+        host = Host(sim, "h")
+        host.register_flow(1, Endpoint())
+        host.unregister_flow(1)
+        host.register_flow(1, Endpoint())  # no error
+
+    def test_unregister_missing_is_noop(self):
+        Host(Simulator(), "h").unregister_flow(42)
+
+    def test_undeliverable_counted(self):
+        sim = Simulator()
+        switch, a, b = wire(sim)
+        a.send(make_data_packet(7, a.node_id, b.node_id, seq=0, payload_len=10))
+        sim.run_until_idle()
+        assert b.undeliverable_packets == 1
+
+    def test_send_without_link_raises(self):
+        with pytest.raises(RuntimeError):
+            Host(Simulator(), "h").send(Packet(1, 0, 1, wire_bytes=64))
+
+    def test_node_ids_unique(self):
+        sim = Simulator()
+        hosts = [Host(sim) for _ in range(5)]
+        assert len({h.node_id for h in hosts}) == 5

@@ -1,0 +1,53 @@
+"""Tests for TcpConfig validation and derived values."""
+
+import pytest
+
+from repro.tcp.config import TcpConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = TcpConfig()
+        assert cfg.mss == 1460
+        assert cfg.min_cwnd_mss == 2.0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("mss", 0),
+            ("mss", -1),
+            ("init_cwnd_mss", 0),
+            ("min_cwnd_mss", 0),
+            ("dctcp_g", 0.0),
+            ("dctcp_g", 1.5),
+            ("dupack_threshold", 0),
+            ("rto_min_ns", 0),
+        ],
+    )
+    def test_rejects_invalid(self, field, value):
+        with pytest.raises(ValueError):
+            TcpConfig(**{field: value})
+
+    def test_rejects_rto_max_below_min(self):
+        with pytest.raises(ValueError):
+            TcpConfig(rto_min_ns=1000, rto_max_ns=500)
+
+
+class TestDerived:
+    def test_byte_views(self):
+        cfg = TcpConfig(mss=1000, init_cwnd_mss=3, min_cwnd_mss=2, init_ssthresh_mss=10)
+        assert cfg.init_cwnd_bytes == 3000
+        assert cfg.min_cwnd_bytes == 2000
+        assert cfg.init_ssthresh_bytes == 10_000
+        assert cfg.timeout_cwnd_bytes == 1000
+
+    def test_with_overrides_copies(self):
+        cfg = TcpConfig()
+        derived = cfg.with_overrides(rto_min_ns=10_000_000)
+        assert derived.rto_min_ns == 10_000_000
+        assert cfg.rto_min_ns == 200_000_000
+        assert derived.mss == cfg.mss
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ValueError):
+            TcpConfig().with_overrides(mss=-5)
