@@ -9,7 +9,7 @@ at a fan-in where DCTCP+ must work.
 
 import pytest
 
-from repro.experiments.common import run_incast_point
+from repro.experiments.common import run_incast_batch, run_incast_point
 
 N = 80
 ROUNDS = 8
@@ -36,15 +36,18 @@ def test_backoff_unit(benchmark, unit_us):
 
 def test_baseline_rtt_unit_beats_tiny_unit(benchmark):
     def compare():
-        tiny = run_incast_point(
-            "dctcp+", N, rounds=ROUNDS, seeds=(1,),
-            plus_overrides={"backoff_time_unit_ns": 5_000},
+        return run_incast_batch(
+            [
+                dict(
+                    protocol="dctcp+", n_flows=N, rounds=ROUNDS, seeds=(1,),
+                    plus_overrides={"backoff_time_unit_ns": 5_000},
+                ),
+                dict(
+                    protocol="dctcp+", n_flows=N, rounds=ROUNDS, seeds=(1,),
+                    plus_overrides={"backoff_time_unit_ns": 100_000},
+                ),
+            ]
         )
-        rtt = run_incast_point(
-            "dctcp+", N, rounds=ROUNDS, seeds=(1,),
-            plus_overrides={"backoff_time_unit_ns": 100_000},
-        )
-        return tiny, rtt
 
     tiny, rtt = benchmark.pedantic(compare, rounds=1, iterations=1)
     benchmark.extra_info["tiny_unit_mbps"] = tiny.goodput_mbps

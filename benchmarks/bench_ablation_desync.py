@@ -6,7 +6,7 @@ increments, synchronized senders keep bursting in lockstep (Fig. 6's
 fan-in and reports the gap.
 """
 
-from repro.experiments.common import run_incast_point
+from repro.experiments.common import run_incast_batch
 
 N = 120
 ROUNDS = 10
@@ -14,9 +14,12 @@ ROUNDS = 10
 
 def test_desync_vs_lockstep(benchmark):
     def compare():
-        full = run_incast_point("dctcp+", N, rounds=ROUNDS, seeds=(1, 2))
-        norand = run_incast_point("dctcp+norand", N, rounds=ROUNDS, seeds=(1, 2))
-        return full, norand
+        return run_incast_batch(
+            [
+                dict(protocol="dctcp+", n_flows=N, rounds=ROUNDS, seeds=(1, 2)),
+                dict(protocol="dctcp+norand", n_flows=N, rounds=ROUNDS, seeds=(1, 2)),
+            ]
+        )
 
     full, norand = benchmark.pedantic(compare, rounds=1, iterations=1)
     benchmark.extra_info["randomized_mbps"] = full.goodput_mbps

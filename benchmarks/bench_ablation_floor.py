@@ -5,7 +5,7 @@ the sending rate" and notes that doing the same for plain DCTCP does
 *not* rescue it.  Both claims are checked here.
 """
 
-from repro.experiments.common import run_incast_point
+from repro.experiments.common import run_incast_batch
 
 N = 80
 ROUNDS = 8
@@ -13,15 +13,18 @@ ROUNDS = 8
 
 def test_floor_one_mss_for_plus(benchmark):
     def compare():
-        floor1 = run_incast_point(
-            "dctcp+", N, rounds=ROUNDS, seeds=(1,),
-            plus_overrides={"min_cwnd_mss": 1.0},
+        return run_incast_batch(
+            [
+                dict(
+                    protocol="dctcp+", n_flows=N, rounds=ROUNDS, seeds=(1,),
+                    plus_overrides={"min_cwnd_mss": 1.0},
+                ),
+                dict(
+                    protocol="dctcp+", n_flows=N, rounds=ROUNDS, seeds=(1,),
+                    plus_overrides={"min_cwnd_mss": 2.0},
+                ),
+            ]
         )
-        floor2 = run_incast_point(
-            "dctcp+", N, rounds=ROUNDS, seeds=(1,),
-            plus_overrides={"min_cwnd_mss": 2.0},
-        )
-        return floor1, floor2
 
     floor1, floor2 = benchmark.pedantic(compare, rounds=1, iterations=1)
     benchmark.extra_info["floor1_mbps"] = floor1.goodput_mbps
@@ -37,13 +40,18 @@ def test_floor_one_mss_shifts_but_does_not_remove_dctcp_collapse(benchmark):
     only postpone it (see EXPERIMENTS.md)."""
 
     def measure():
-        survives = run_incast_point(
-            "dctcp", 80, rounds=ROUNDS, seeds=(1,), min_cwnd_mss=1.0
+        return run_incast_batch(
+            [
+                dict(
+                    protocol="dctcp", n_flows=80, rounds=ROUNDS, seeds=(1,),
+                    min_cwnd_mss=1.0,
+                ),
+                dict(
+                    protocol="dctcp", n_flows=120, rounds=ROUNDS, seeds=(1,),
+                    min_cwnd_mss=1.0,
+                ),
+            ]
         )
-        collapses = run_incast_point(
-            "dctcp", 120, rounds=ROUNDS, seeds=(1,), min_cwnd_mss=1.0
-        )
-        return survives, collapses
 
     survives, collapses = benchmark.pedantic(measure, rounds=1, iterations=1)
     benchmark.extra_info["floor1_n80_mbps"] = survives.goodput_mbps

@@ -4,7 +4,7 @@ Without ECN the state machine only hears the loss channel, so TCP+ cannot
 match DCTCP+; this bench records how much of the benefit survives.
 """
 
-from repro.experiments.common import run_incast_point
+from repro.experiments.common import run_incast_batch
 
 N = 40
 ROUNDS = 8
@@ -12,9 +12,12 @@ ROUNDS = 8
 
 def test_tcp_plus_vs_tcp(benchmark):
     def compare():
-        tcp = run_incast_point("tcp", N, rounds=ROUNDS, seeds=(1, 2))
-        tcp_plus = run_incast_point("tcp+", N, rounds=ROUNDS, seeds=(1, 2))
-        return tcp, tcp_plus
+        return run_incast_batch(
+            [
+                dict(protocol="tcp", n_flows=N, rounds=ROUNDS, seeds=(1, 2)),
+                dict(protocol="tcp+", n_flows=N, rounds=ROUNDS, seeds=(1, 2)),
+            ]
+        )
 
     tcp, tcp_plus = benchmark.pedantic(compare, rounds=1, iterations=1)
     benchmark.extra_info["tcp_mbps"] = tcp.goodput_mbps

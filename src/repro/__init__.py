@@ -9,6 +9,8 @@ The package layers:
 - :mod:`repro.core`  — DCTCP+ (slow_time state machine + pacer) — the paper
 - :mod:`repro.workloads` — incast rounds, long flows, benchmark traffic
 - :mod:`repro.metrics`   — flow stats, queue sampling, histograms, tables
+- :mod:`repro.exec`  — declarative scenario specs, serial/parallel executors,
+  on-disk result cache
 - :mod:`repro.experiments` — one driver per paper table/figure
 
 Quickstart::
@@ -22,6 +24,14 @@ Quickstart::
     print(workload.mean_goodput_bps / 1e6, "Mbps")
 """
 
+from .exec import (
+    ParallelExecutor,
+    PointResult,
+    ResultCache,
+    ScenarioSpec,
+    SerialExecutor,
+    run_scenario,
+)
 from .core import (
     DctcpPlusConfig,
     DctcpPlusSender,
@@ -53,7 +63,7 @@ from .workloads import (
     spec_for,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Simulator",
@@ -85,5 +95,11 @@ __all__ = [
     "spec_for",
     "FlowStats",
     "QueueSampler",
+    "ScenarioSpec",
+    "PointResult",
+    "run_scenario",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "ResultCache",
     "__version__",
 ]

@@ -1,0 +1,76 @@
+"""Opt-in on-disk result cache, keyed by :meth:`ScenarioSpec.cache_key`.
+
+One JSON file per point under the cache directory.  The key digests the
+full spec plus the package version and the result-schema version, so any
+change to the scenario, the code version or the encoding silently misses
+instead of returning stale data.  Each file also embeds the spec it was
+computed from; a digest collision or a hand-edited file is detected by
+comparing that embedded spec against the requested one.
+
+Writes are atomic (temp file + ``os.replace``) so a parallel run never
+leaves a half-written entry behind, and unreadable/corrupt entries are
+treated as misses rather than errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from .scenario import PointResult, ScenarioSpec
+
+
+class ResultCache:
+    """Directory of ``<cache_key>.json`` files mapping spec -> result."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: ScenarioSpec) -> Path:
+        return self.directory / f"{spec.cache_key()}.json"
+
+    def get(self, spec: ScenarioSpec) -> Optional[PointResult]:
+        """Decode the cached result for ``spec``, or None on any miss."""
+        path = self.path_for(spec)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            if entry.get("spec") != spec.to_dict():
+                raise ValueError("cache entry spec mismatch")
+            result = PointResult.from_dict(entry["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: ScenarioSpec, result: PointResult) -> None:
+        """Store ``result`` atomically under the spec's key (best effort)."""
+        entry = {
+            "key": spec.cache_key(),
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        path = self.path_for(spec)
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=path.stem, suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except OSError:
+            # A full/read-only disk degrades to "no cache", not a crash.
+            try:
+                os.unlink(tmp)
+            except (OSError, UnboundLocalError):
+                pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))

@@ -1,0 +1,352 @@
+"""Declarative experiment points.
+
+A :class:`ScenarioSpec` is a frozen, hashable, picklable description of
+**one** simulation point — (protocol, N, seed) plus every knob the figure
+drivers vary.  Because the spec is pure data, a point can be handed to a
+worker process, replayed later, or used as a cache key; because every
+simulation is seeded through :class:`~repro.sim.rng.RngRegistry` with
+per-simulation stream names, running the same spec anywhere yields the
+same :class:`PointResult`.
+
+:func:`run_scenario` is the one place a spec is turned into a simulation:
+it builds a fresh :class:`~repro.sim.engine.Simulator`, topology and
+workload, runs to completion, and returns a :class:`PointResult` carrying
+the aggregates, the per-flow statistics and wall-clock/event telemetry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..metrics.flowstats import FlowStats
+from ..metrics.queue_sampler import QueueSampler
+from ..net.topology import TopologyParams, build_two_tier
+from ..sim.engine import Simulator
+from ..tcp.timeouts import TimeoutKind
+from ..workloads.background import BackgroundTraffic
+from ..workloads.incast import IncastConfig, IncastWorkload
+from ..workloads.protocols import ProtocolSpec, spec_for
+
+#: Bumped whenever the on-disk result encoding changes shape; part of the
+#: cache key so stale entries from older encodings never decode.
+SCHEMA_VERSION = 1
+
+Overrides = Tuple[Tuple[str, object], ...]
+
+
+def _freeze(overrides: Optional[Mapping[str, object]]) -> Overrides:
+    """Normalize an override mapping to a sorted, hashable tuple of pairs."""
+    if not overrides:
+        return ()
+    return tuple(sorted(overrides.items()))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything needed to reproduce one (protocol, N, seed) measurement."""
+
+    protocol: str
+    n_flows: int
+    rounds: int = 20
+    seed: int = 1
+    tcp_overrides: Overrides = ()
+    plus_overrides: Overrides = ()
+    incast_overrides: Overrides = ()
+    #: () means "builder defaults"; otherwise the full TopologyParams fields.
+    topo_overrides: Overrides = ()
+    with_background: bool = False
+    sample_queue: bool = False
+    max_events: int = 400_000_000
+
+    @classmethod
+    def create(
+        cls,
+        protocol: str,
+        n_flows: int,
+        rounds: int = 20,
+        seed: int = 1,
+        rto_min_ms: Optional[float] = None,
+        min_cwnd_mss: Optional[float] = None,
+        tcp_overrides: Optional[Mapping[str, object]] = None,
+        plus_overrides: Optional[Mapping[str, object]] = None,
+        incast_overrides: Optional[Mapping[str, object]] = None,
+        topo: Optional[Union[TopologyParams, Mapping[str, object]]] = None,
+        with_background: bool = False,
+        sample_queue: bool = False,
+        max_events: int = 400_000_000,
+    ) -> "ScenarioSpec":
+        """Build a spec from the kwargs the figure drivers historically used.
+
+        ``rto_min_ms`` / ``min_cwnd_mss`` are folded into ``tcp_overrides``
+        exactly as :func:`repro.experiments.common.make_spec` does.
+        """
+        tcp: Dict[str, object] = dict(tcp_overrides or {})
+        if rto_min_ms is not None:
+            tcp["rto_min_ns"] = int(rto_min_ms * 1e6)
+        if min_cwnd_mss is not None:
+            tcp["min_cwnd_mss"] = min_cwnd_mss
+        if isinstance(topo, TopologyParams):
+            topo = asdict(topo)
+        return cls(
+            protocol=protocol,
+            n_flows=n_flows,
+            rounds=rounds,
+            seed=seed,
+            tcp_overrides=_freeze(tcp),
+            plus_overrides=_freeze(plus_overrides),
+            incast_overrides=_freeze(incast_overrides),
+            topo_overrides=_freeze(topo),
+            with_background=with_background,
+            sample_queue=sample_queue,
+            max_events=max_events,
+        )
+
+    # -- derived builders ------------------------------------------------------
+    def protocol_spec(self) -> ProtocolSpec:
+        return spec_for(
+            self.protocol,
+            tcp_overrides=dict(self.tcp_overrides),
+            plus_overrides=dict(self.plus_overrides),
+        )
+
+    def topology_params(self) -> Optional[TopologyParams]:
+        if not self.topo_overrides:
+            return None
+        return TopologyParams(**dict(self.topo_overrides))
+
+    def incast_config(self) -> IncastConfig:
+        kwargs: Dict[str, object] = dict(
+            n_flows=self.n_flows, n_rounds=self.rounds
+        )
+        kwargs.update(dict(self.incast_overrides))
+        return IncastConfig(**kwargs)
+
+    # -- identity --------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (tuples become lists)."""
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = [list(pair) for pair in value]
+            out[f.name] = value
+        return out
+
+    def cache_key(self) -> str:
+        """Stable content digest of the spec + package/schema version.
+
+        Any change to a field, to the package version or to the result
+        encoding yields a new key, so on-disk cache entries are invalidated
+        automatically.
+        """
+        from .. import __version__
+
+        payload = self.to_dict()
+        payload["__version__"] = __version__
+        payload["__schema__"] = SCHEMA_VERSION
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable tag for progress lines."""
+        return f"{self.protocol} N={self.n_flows} seed={self.seed}"
+
+
+@dataclass
+class PointResult:
+    """Outcome of one or more scenario runs at a (protocol, N) point.
+
+    A single :func:`run_scenario` produces a one-seed result; the executor
+    folds per-seed results into a cross-seed aggregate with
+    :meth:`PointResult.aggregate` — averaging goodput/FCT, summing the
+    counters, concatenating the traces.  Background throughput is a real
+    optional field (it used to be stashed on the result dynamically).
+    """
+
+    protocol: str
+    n_flows: int
+    seeds: Tuple[int, ...]
+    goodput_mbps: float
+    fct_ms: float
+    timeouts: int
+    rounds: int
+    bad_rounds: int
+    flow_stats: List[FlowStats] = field(default_factory=list)
+    queue_samples_bytes: List[int] = field(default_factory=list)
+    #: Mean long-flow throughput when the scenario ran with background
+    #: traffic; ``None`` otherwise.
+    bg_throughput_mbps: Optional[float] = None
+    #: Simulator events processed (deterministic given the spec).
+    events_processed: int = 0
+    #: Host wall-clock seconds spent simulating; excluded from equality so a
+    #: cache hit compares equal to the cold run that produced it.
+    wall_time_s: float = field(default=0.0, compare=False)
+
+    @classmethod
+    def aggregate(cls, results: Sequence["PointResult"]) -> "PointResult":
+        """Fold per-seed results for one (protocol, N) point."""
+        if not results:
+            raise ValueError("cannot aggregate zero results")
+        first = results[0]
+        for r in results[1:]:
+            if (r.protocol, r.n_flows) != (first.protocol, first.n_flows):
+                raise ValueError(
+                    "cannot aggregate results from different points: "
+                    f"{(first.protocol, first.n_flows)} vs {(r.protocol, r.n_flows)}"
+                )
+        bg = [r.bg_throughput_mbps for r in results if r.bg_throughput_mbps is not None]
+        return cls(
+            protocol=first.protocol,
+            n_flows=first.n_flows,
+            seeds=tuple(s for r in results for s in r.seeds),
+            goodput_mbps=sum(r.goodput_mbps for r in results) / len(results),
+            fct_ms=sum(r.fct_ms for r in results) / len(results),
+            timeouts=sum(r.timeouts for r in results),
+            rounds=sum(r.rounds for r in results),
+            bad_rounds=sum(r.bad_rounds for r in results),
+            flow_stats=[fs for r in results for fs in r.flow_stats],
+            queue_samples_bytes=[q for r in results for q in r.queue_samples_bytes],
+            bg_throughput_mbps=sum(bg) / len(bg) if bg else None,
+            events_processed=sum(r.events_processed for r in results),
+            wall_time_s=sum(r.wall_time_s for r in results),
+        )
+
+    # -- JSON codec (for the on-disk result cache) ----------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "n_flows": self.n_flows,
+            "seeds": list(self.seeds),
+            "goodput_mbps": self.goodput_mbps,
+            "fct_ms": self.fct_ms,
+            "timeouts": self.timeouts,
+            "rounds": self.rounds,
+            "bad_rounds": self.bad_rounds,
+            "flow_stats": [_flowstats_to_dict(fs) for fs in self.flow_stats],
+            "queue_samples_bytes": list(self.queue_samples_bytes),
+            "bg_throughput_mbps": self.bg_throughput_mbps,
+            "events_processed": self.events_processed,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "PointResult":
+        return cls(
+            protocol=data["protocol"],
+            n_flows=data["n_flows"],
+            seeds=tuple(data["seeds"]),
+            goodput_mbps=data["goodput_mbps"],
+            fct_ms=data["fct_ms"],
+            timeouts=data["timeouts"],
+            rounds=data["rounds"],
+            bad_rounds=data["bad_rounds"],
+            flow_stats=[_flowstats_from_dict(d) for d in data["flow_stats"]],
+            queue_samples_bytes=list(data["queue_samples_bytes"]),
+            bg_throughput_mbps=data["bg_throughput_mbps"],
+            events_processed=data["events_processed"],
+            wall_time_s=data["wall_time_s"],
+        )
+
+
+def _flowstats_to_dict(fs: FlowStats) -> Dict[str, object]:
+    return {
+        "flow_id": fs.flow_id,
+        "total_bytes": fs.total_bytes,
+        "start_time_ns": fs.start_time_ns,
+        "completion_time_ns": fs.completion_time_ns,
+        "data_packets_sent": fs.data_packets_sent,
+        "retransmitted_packets": fs.retransmitted_packets,
+        "fast_retransmits": fs.fast_retransmits,
+        "timeouts": [[t, kind.name] for t, kind in fs.timeouts],
+        "acks_received": fs.acks_received,
+        "dupacks_received": fs.dupacks_received,
+        "ece_acks_received": fs.ece_acks_received,
+        "send_snapshots": [
+            [cwnd, ece, count] for (cwnd, ece), count in fs.send_snapshots.items()
+        ],
+    }
+
+
+def _flowstats_from_dict(data: Mapping[str, object]) -> FlowStats:
+    return FlowStats(
+        flow_id=data["flow_id"],
+        total_bytes=data["total_bytes"],
+        start_time_ns=data["start_time_ns"],
+        completion_time_ns=data["completion_time_ns"],
+        data_packets_sent=data["data_packets_sent"],
+        retransmitted_packets=data["retransmitted_packets"],
+        fast_retransmits=data["fast_retransmits"],
+        timeouts=[(t, TimeoutKind[name]) for t, name in data["timeouts"]],
+        acks_received=data["acks_received"],
+        dupacks_received=data["dupacks_received"],
+        ece_acks_received=data["ece_acks_received"],
+        send_snapshots={
+            (cwnd, ece): count for cwnd, ece, count in data["send_snapshots"]
+        },
+    )
+
+
+def run_scenario(spec: ScenarioSpec) -> PointResult:
+    """Simulate one :class:`ScenarioSpec` and return its :class:`PointResult`.
+
+    This is the worker function of the execution layer: it is a pure
+    function of the spec (module-level, so it pickles for process pools),
+    builds its own :class:`Simulator`, and never touches shared state.
+    Flow ids in the returned stats are renumbered to per-scenario indices so
+    that results are identical no matter which process ran the spec.
+    """
+    started = time.perf_counter()
+    sim = Simulator(seed=spec.seed)
+    events_before = sim.events_processed
+    tree = build_two_tier(sim, spec.topology_params())
+    protocol_spec = spec.protocol_spec()
+
+    background = None
+    if spec.with_background:
+        background = BackgroundTraffic(sim, tree, spec.protocol_spec())
+        background.start()
+
+    sampler = None
+    if spec.sample_queue:
+        sampler = QueueSampler(sim, tree.bottleneck_port)
+        sampler.start()
+
+    workload = IncastWorkload(sim, tree, protocol_spec, spec.incast_config())
+    workload.run_to_completion(max_events=spec.max_events)
+
+    queue_samples: List[int] = []
+    if sampler is not None:
+        sampler.stop()
+        queue_samples = list(sampler.occupancy_bytes)
+
+    bg_throughput_mbps = None
+    if background is not None:
+        bg_throughput_mbps = background.mean_throughput_bps() / 1e6
+        background.stop()
+
+    flow_stats = workload.flow_stats
+    # Flow ids come from a process-global counter; renumber so the result
+    # does not depend on what else ran in this process before us.
+    for i, fs in enumerate(flow_stats):
+        fs.flow_id = i
+    workload.close()
+
+    return PointResult(
+        protocol=spec.protocol,
+        n_flows=spec.n_flows,
+        seeds=(spec.seed,),
+        goodput_mbps=workload.mean_goodput_bps / 1e6,
+        fct_ms=workload.mean_fct_ns / 1e6,
+        timeouts=workload.total_timeouts,
+        rounds=len(workload.rounds),
+        bad_rounds=sum(1 for r in workload.rounds if r.timeouts > 0),
+        flow_stats=flow_stats,
+        queue_samples_bytes=queue_samples,
+        bg_throughput_mbps=bg_throughput_mbps,
+        events_processed=sim.events_processed - events_before,
+        wall_time_s=time.perf_counter() - started,
+    )

@@ -5,6 +5,8 @@ from .common import (
     ExperimentResult,
     IncastPointResult,
     make_spec,
+    point_specs,
+    run_incast_batch,
     run_incast_point,
     run_incast_sweep,
 )
@@ -13,6 +15,8 @@ __all__ = [
     "ExperimentResult",
     "IncastPointResult",
     "make_spec",
+    "point_specs",
+    "run_incast_batch",
     "run_incast_point",
     "run_incast_sweep",
     "BENCH_N_VALUES",

@@ -1,8 +1,10 @@
 """Shared infrastructure for the per-figure experiment drivers.
 
 Every driver produces an :class:`ExperimentResult` — a titled table plus
-free-form notes — via :func:`run_incast_point` / :func:`run_incast_sweep`
-so that all figures share one measurement methodology:
+free-form notes — by submitting a batch of declarative
+:class:`~repro.exec.ScenarioSpec` points to the ambient executor (see
+:mod:`repro.exec.context`), so that all figures share one measurement
+methodology:
 
 - a fresh :class:`~repro.sim.engine.Simulator` and two-tier tree per
   (protocol, N, seed) point;
@@ -10,23 +12,30 @@ so that all figures share one measurement methodology:
   :class:`~repro.workloads.incast.IncastWorkload`);
 - results averaged across seeds (the paper averages 1000 repetitions; we
   default to fewer rounds x seeds and the CLI exposes ``--rounds/--seeds``).
+
+Because the whole figure goes to the executor as **one flat batch**, a
+``--workers N`` run parallelizes across protocols, N values and seeds at
+once, and a ``--cache-dir`` run skips every point computed before.
+:func:`run_incast_point` / :func:`run_incast_sweep` remain as thin wrappers
+over the batch API for callers that want a single point or a single sweep.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
-from ..metrics.flowstats import FlowStats
-from ..metrics.queue_sampler import QueueSampler
+from ..exec import PointResult, ScenarioSpec, get_executor
 from ..metrics.report import format_table
-from ..net.topology import TopologyParams, TwoTierTree, build_two_tier
-from ..sim.engine import Simulator
-from ..workloads.background import BackgroundConfig, BackgroundTraffic
-from ..workloads.incast import IncastConfig, IncastWorkload
 from ..workloads.protocols import ProtocolSpec, spec_for
+
+#: Backwards-compatible alias: the ad-hoc per-figure result type is now the
+#: execution layer's :class:`~repro.exec.PointResult` (with background
+#: throughput as a declared field instead of a dynamically stashed one).
+IncastPointResult = PointResult
 
 
 @dataclass
@@ -50,22 +59,24 @@ class ExperimentResult:
         writer = csv.writer(buf)
         writer.writerow(self.headers)
         writer.writerows(self.rows)
+        # Notes ride along as a trailing comment stanza so CSV exports keep
+        # the caveats without breaking header-first consumers.
+        for note in self.notes:
+            buf.write(f"# note: {note}\r\n")
         return buf.getvalue()
 
-
-@dataclass
-class IncastPointResult:
-    """Aggregated outcome of one (protocol, N) incast measurement."""
-
-    protocol: str
-    n_flows: int
-    goodput_mbps: float
-    fct_ms: float
-    timeouts: int
-    rounds: int
-    bad_rounds: int
-    flow_stats: List[FlowStats] = field(default_factory=list)
-    queue_samples_bytes: List[int] = field(default_factory=list)
+    def to_json(self) -> str:
+        """Machine-readable export (``--json``)."""
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "headers": self.headers,
+                "rows": self.rows,
+                "notes": self.notes,
+            },
+            indent=2,
+        )
 
 
 def make_spec(
@@ -83,99 +94,80 @@ def make_spec(
     return spec_for(protocol, tcp_overrides=tcp_overrides, plus_overrides=plus_overrides)
 
 
+def point_specs(
+    protocol: str,
+    n_flows: int,
+    rounds: int = 20,
+    seeds: Sequence[int] = (1,),
+    max_events_per_seed: int = 400_000_000,
+    **kwargs,
+) -> List[ScenarioSpec]:
+    """The per-seed :class:`ScenarioSpec` batch behind one (protocol, N)
+    measurement; kwargs as accepted by :meth:`ScenarioSpec.create`."""
+    return [
+        ScenarioSpec.create(
+            protocol,
+            n_flows,
+            rounds=rounds,
+            seed=seed,
+            max_events=max_events_per_seed,
+            **kwargs,
+        )
+        for seed in seeds
+    ]
+
+
+def run_incast_batch(requests: Sequence[Mapping]) -> List[PointResult]:
+    """Run many (protocol, N) measurements as **one** executor batch.
+
+    Each request is a kwargs mapping for :func:`point_specs` (i.e. the
+    historical :func:`run_incast_point` signature).  All per-seed points of
+    all requests are flattened into a single submission — the unit of
+    parallelism — and each request's seeds are aggregated back into one
+    :class:`PointResult`, returned in request order.
+    """
+    specs: List[ScenarioSpec] = []
+    slices: List[slice] = []
+    for request in requests:
+        start = len(specs)
+        specs.extend(point_specs(**request))
+        slices.append(slice(start, len(specs)))
+    results = get_executor().map(specs)
+    return [PointResult.aggregate(results[s]) for s in slices]
+
+
 def run_incast_point(
     protocol: str,
     n_flows: int,
     rounds: int = 20,
     seeds: Sequence[int] = (1,),
-    rto_min_ms: Optional[float] = None,
-    min_cwnd_mss: Optional[float] = None,
-    plus_overrides: Optional[dict] = None,
-    incast_overrides: Optional[dict] = None,
-    topo: Optional[TopologyParams] = None,
-    with_background: bool = False,
-    sample_queue: bool = False,
-    max_events_per_seed: int = 400_000_000,
-) -> IncastPointResult:
+    **kwargs,
+) -> PointResult:
     """Run the basic incast experiment at one (protocol, N) point.
 
     Averages goodput/FCT across seeds; concatenates flow stats and queue
     samples (for Fig. 2 / Table I / Fig. 9 post-processing).
     """
-    goodputs: List[float] = []
-    fcts: List[float] = []
-    timeouts = 0
-    bad_rounds = 0
-    total_rounds = 0
-    all_stats: List[FlowStats] = []
-    queue_samples: List[int] = []
-    bg_throughputs: List[float] = []
-
-    for seed in seeds:
-        sim = Simulator(seed=seed)
-        tree = build_two_tier(sim, topo)
-        cfg_kwargs = dict(n_flows=n_flows, n_rounds=rounds)
-        if incast_overrides:
-            cfg_kwargs.update(incast_overrides)
-        config = IncastConfig(**cfg_kwargs)
-        spec = make_spec(protocol, rto_min_ms, min_cwnd_mss, plus_overrides)
-
-        background = None
-        if with_background:
-            bg_spec = make_spec(protocol, rto_min_ms, min_cwnd_mss, plus_overrides)
-            background = BackgroundTraffic(sim, tree, bg_spec)
-            background.start()
-
-        sampler = None
-        if sample_queue:
-            sampler = QueueSampler(sim, tree.bottleneck_port)
-            sampler.start()
-
-        workload = IncastWorkload(sim, tree, spec, config)
-        workload.run_to_completion(max_events=max_events_per_seed)
-
-        goodputs.append(workload.mean_goodput_bps)
-        fcts.append(workload.mean_fct_ns)
-        timeouts += workload.total_timeouts
-        bad_rounds += sum(1 for r in workload.rounds if r.timeouts > 0)
-        total_rounds += len(workload.rounds)
-        all_stats.extend(workload.flow_stats)
-        if sampler is not None:
-            sampler.stop()
-            queue_samples.extend(sampler.occupancy_bytes)
-        if background is not None:
-            bg_throughputs.append(background.mean_throughput_bps())
-            background.stop()
-        workload.close()
-
-    result = IncastPointResult(
-        protocol=protocol,
-        n_flows=n_flows,
-        goodput_mbps=sum(goodputs) / len(goodputs) / 1e6,
-        fct_ms=sum(fcts) / len(fcts) / 1e6,
-        timeouts=timeouts,
-        rounds=total_rounds,
-        bad_rounds=bad_rounds,
-        flow_stats=all_stats,
-        queue_samples_bytes=queue_samples,
-    )
-    if bg_throughputs:
-        # Stash the long-flow observation for Fig. 11/12 notes.
-        result.bg_throughput_mbps = sum(bg_throughputs) / len(bg_throughputs) / 1e6  # type: ignore[attr-defined]
-    return result
+    return run_incast_batch(
+        [dict(protocol=protocol, n_flows=n_flows, rounds=rounds, seeds=seeds, **kwargs)]
+    )[0]
 
 
 def run_incast_sweep(
     protocols: Sequence[str],
     n_values: Sequence[int],
     **kwargs,
-) -> Dict[str, List[IncastPointResult]]:
-    """Sweep N for each protocol; kwargs forwarded to run_incast_point."""
-    results: Dict[str, List[IncastPointResult]] = {}
-    for protocol in protocols:
-        results[protocol] = [
-            run_incast_point(protocol, n, **kwargs) for n in n_values
-        ]
+) -> Dict[str, List[PointResult]]:
+    """Sweep N for each protocol in one batch; kwargs forwarded per point."""
+    requests = [
+        dict(protocol=protocol, n_flows=n, **kwargs)
+        for protocol in protocols
+        for n in n_values
+    ]
+    points = run_incast_batch(requests)
+    results: Dict[str, List[PointResult]] = {}
+    for request, point in zip(requests, points):
+        results.setdefault(request["protocol"], []).append(point)
     return results
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from ..metrics.cwnd_tracker import cwnd_frequency
-from .common import ExperimentResult, run_incast_point
+from .common import ExperimentResult, run_incast_batch
 
 EXPERIMENT_ID = "fig2"
 TITLE = "cwnd-size frequency distribution (share of transmissions)"
@@ -25,11 +25,15 @@ def run(
     rounds: int = 20,
     seeds: Sequence[int] = (1, 2),
 ) -> ExperimentResult:
+    requests = [
+        dict(protocol=protocol, n_flows=n, rounds=rounds, seeds=seeds)
+        for protocol in ("dctcp", "tcp")
+        for n in n_values
+    ]
     distributions: Dict[str, Dict[int, float]] = {}
-    for protocol in ("dctcp", "tcp"):
-        for n in n_values:
-            point = run_incast_point(protocol, n, rounds=rounds, seeds=seeds)
-            distributions[f"{protocol}/N={n}"] = cwnd_frequency(point.flow_stats)
+    for request, point in zip(requests, run_incast_batch(requests)):
+        key = f"{request['protocol']}/N={request['n_flows']}"
+        distributions[key] = cwnd_frequency(point.flow_stats)
 
     headers = ["cwnd (MSS)"] + list(distributions.keys())
     rows = []

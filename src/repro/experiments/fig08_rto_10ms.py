@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .common import ExperimentResult, run_incast_point
+from .common import ExperimentResult, run_incast_batch
 
 EXPERIMENT_ID = "fig8"
 TITLE = "DCTCP+ (RTO 200 ms) vs DCTCP/TCP with RTO_min = 10 ms"
@@ -21,13 +21,21 @@ def run(
     rounds: int = 20,
     seeds: Sequence[int] = (1, 2, 3),
 ) -> ExperimentResult:
+    common = dict(rounds=rounds, seeds=seeds)
+    points = run_incast_batch(
+        [
+            request
+            for n in n_values
+            for request in (
+                dict(protocol="dctcp+", n_flows=n, min_cwnd_mss=1.0, **common),
+                dict(protocol="dctcp", n_flows=n, rto_min_ms=10.0, min_cwnd_mss=1.0, **common),
+                dict(protocol="tcp", n_flows=n, rto_min_ms=10.0, **common),
+            )
+        ]
+    )
     rows = []
-    for n in n_values:
-        plus = run_incast_point("dctcp+", n, rounds=rounds, seeds=seeds, min_cwnd_mss=1.0)
-        dctcp = run_incast_point(
-            "dctcp", n, rounds=rounds, seeds=seeds, rto_min_ms=10.0, min_cwnd_mss=1.0
-        )
-        tcp = run_incast_point("tcp", n, rounds=rounds, seeds=seeds, rto_min_ms=10.0)
+    for i, n in enumerate(n_values):
+        plus, dctcp, tcp = points[3 * i : 3 * i + 3]
         rows.append(
             [
                 n,

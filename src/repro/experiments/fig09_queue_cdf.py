@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..metrics.stats import cdf_at
-from .common import ExperimentResult, run_incast_point
+from .common import ExperimentResult, run_incast_batch
 
 EXPERIMENT_ID = "fig9"
 TITLE = "CDF of bottleneck queue length (KB), 100 us samples"
@@ -24,19 +24,26 @@ def run(
     rounds: int = 20,
     seeds: Sequence[int] = (1, 2),
 ) -> ExperimentResult:
+    requests = [
+        dict(
+            protocol=protocol,
+            n_flows=n,
+            rounds=rounds,
+            seeds=seeds,
+            sample_queue=True,
+            min_cwnd_mss=1.0 if protocol == "dctcp+" else None,
+        )
+        for n in n_values
+        for protocol in ("dctcp+", "dctcp", "tcp")
+    ]
     headers = ["queue <= KB"]
     columns = []
-    for n in n_values:
-        for protocol in ("dctcp+", "dctcp", "tcp"):
-            point = run_incast_point(
-                protocol, n, rounds=rounds, seeds=seeds, sample_queue=True,
-                min_cwnd_mss=1.0 if protocol == "dctcp+" else None,
-            )
-            probs = cdf_at(
-                [q / 1024.0 for q in point.queue_samples_bytes], THRESHOLDS_KB
-            )
-            headers.append(f"{protocol}/N={n}")
-            columns.append(probs)
+    for request, point in zip(requests, run_incast_batch(requests)):
+        probs = cdf_at(
+            [q / 1024.0 for q in point.queue_samples_bytes], THRESHOLDS_KB
+        )
+        headers.append(f"{request['protocol']}/N={request['n_flows']}")
+        columns.append(probs)
     rows = []
     for i, kb in enumerate(THRESHOLDS_KB):
         row: list = [kb]

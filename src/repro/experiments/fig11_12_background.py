@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .common import ExperimentResult, run_incast_point
+from .common import ExperimentResult, run_incast_batch
 
 EXPERIMENT_ID = "fig11"
 TITLE = "Incast goodput and FCT with 2 persistent background flows"
@@ -21,14 +21,12 @@ def run(
     rounds: int = 20,
     seeds: Sequence[int] = (1, 2, 3),
 ) -> ExperimentResult:
-    rows = []
-    bg_notes = []
-    for n in n_values:
-        points = {}
-        for protocol in ("dctcp+", "dctcp", "tcp"):
-            points[protocol] = run_incast_point(
-                protocol,
-                n,
+    protocols = ("dctcp+", "dctcp", "tcp")
+    points = run_incast_batch(
+        [
+            dict(
+                protocol=protocol,
+                n_flows=n,
                 rounds=rounds,
                 seeds=seeds,
                 with_background=True,
@@ -39,7 +37,14 @@ def run(
                 # reflects it) instead of simulating the whole stall.
                 incast_overrides={"round_deadline_ns": 5_000_000_000},
             )
-        plus, dctcp, tcp = points["dctcp+"], points["dctcp"], points["tcp"]
+            for n in n_values
+            for protocol in protocols
+        ]
+    )
+    rows = []
+    bg_notes = []
+    for i, n in enumerate(n_values):
+        plus, dctcp, tcp = points[3 * i : 3 * i + 3]
         rows.append(
             [
                 n,
@@ -51,7 +56,7 @@ def run(
                 round(tcp.fct_ms, 2),
             ]
         )
-        bg = getattr(plus, "bg_throughput_mbps", None)
+        bg = plus.bg_throughput_mbps
         if bg is not None:
             bg_notes.append(f"N={n}: DCTCP+ long-flow mean throughput {bg:.0f} Mbps (x{2})")
     return ExperimentResult(

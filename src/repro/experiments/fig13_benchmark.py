@@ -19,6 +19,10 @@ from .common import ExperimentResult, make_spec
 
 EXPERIMENT_ID = "fig13"
 TITLE = "Benchmark traffic FCT statistics (ms), RTO_min = 10 ms"
+#: One self-contained benchmark simulation — no (n_values, rounds, seeds).
+SUPPORTS_SWEEP_KWARGS = False
+#: ``--paper`` runs the full production-statistics mix.
+PAPER_SCALE_KWARGS = dict(n_queries=7000, n_background=7000, max_flow_bytes=None)
 
 
 def run(

@@ -23,6 +23,8 @@ from .common import ExperimentResult, make_spec
 
 EXPERIMENT_ID = "fig14"
 TITLE = "Queue vs time: DCTCP+ convergence, N=50, 4 MB per flow"
+#: One fixed time-series simulation — no (n_values, rounds, seeds).
+SUPPORTS_SWEEP_KWARGS = False
 
 
 def run(

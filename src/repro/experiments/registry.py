@@ -60,3 +60,21 @@ def describe(experiment_id: str) -> str:
         else f" (shares the {module.EXPERIMENT_ID} driver)"
     )
     return f"{experiment_id}: {module.TITLE}{suffix}"
+
+
+def supports_sweep_kwargs(experiment_id: str) -> bool:
+    """Whether the driver accepts the (n_values, rounds, seeds) sweep kwargs.
+
+    Drivers opt out by setting ``SUPPORTS_SWEEP_KWARGS = False`` (fig13's
+    benchmark mix and fig14's single time series have their own knobs);
+    the CLI uses this instead of hard-coding experiment ids.
+    """
+    module = _MODULES[experiment_id]
+    return getattr(module, "SUPPORTS_SWEEP_KWARGS", True)
+
+
+def paper_scale_kwargs(experiment_id: str) -> dict:
+    """Extra kwargs the driver wants under ``--paper`` (beyond the generic
+    rounds/seeds scale-up), declared as ``PAPER_SCALE_KWARGS`` on the module."""
+    module = _MODULES[experiment_id]
+    return dict(getattr(module, "PAPER_SCALE_KWARGS", {}))

@@ -10,10 +10,17 @@ Run one at reduced (default) scale::
 
     python -m repro.experiments fig7
 
-Scale up toward the paper's repetition counts::
+Scale up toward the paper's repetition counts, fanning the points out to
+worker processes and caching finished points on disk::
 
     python -m repro.experiments fig1 --rounds 100 --seeds 10
+    python -m repro.experiments fig7 --paper --workers 8 --cache-dir .exp-cache
     python -m repro.experiments fig13 --paper
+
+Every simulation point is fully described by a seeded
+:class:`~repro.exec.ScenarioSpec`, so ``--workers N`` produces **the same
+table** as a serial run, only faster, and a re-run with the same
+``--cache-dir`` completes from cache hits without re-simulating.
 """
 
 from __future__ import annotations
@@ -23,7 +30,24 @@ import sys
 import time
 from typing import List, Optional
 
-from .registry import describe, experiment_ids, get_runner
+from ..exec import ProgressEvent, make_executor, using_executor
+from .registry import (
+    describe,
+    experiment_ids,
+    get_runner,
+    paper_scale_kwargs,
+    supports_sweep_kwargs,
+)
+
+
+def _parse_n_values(text: str) -> tuple:
+    try:
+        values = tuple(int(n) for n in text.split(",") if n.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one flow count")
+    return values
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,28 +60,71 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--rounds", type=int, default=None, help="incast rounds per seed")
     parser.add_argument("--seeds", type=int, default=None, help="number of seeds")
     parser.add_argument(
+        "--n-values",
+        type=_parse_n_values,
+        default=None,
+        metavar="N1,N2,...",
+        help="comma-separated flow counts for sweep experiments",
+    )
+    parser.add_argument(
         "--paper", action="store_true", help="paper-scale configuration (slow)"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="simulation worker processes (default: $REPRO_WORKERS or serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache finished points as JSON under DIR (default: $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress the per-point progress lines on stderr",
+    )
     parser.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON instead of a table"
+    )
     return parser
 
 
 def _kwargs_for(experiment: str, args: argparse.Namespace) -> dict:
     kwargs: dict = {}
-    if experiment == "fig13":
+    if not supports_sweep_kwargs(experiment):
         if args.paper:
-            kwargs.update(n_queries=7000, n_background=7000, max_flow_bytes=None)
-        return kwargs
-    if experiment == "fig14":
+            kwargs.update(paper_scale_kwargs(experiment))
         return kwargs
     if args.rounds is not None:
         kwargs["rounds"] = args.rounds
     if args.seeds is not None:
         kwargs["seeds"] = tuple(range(1, args.seeds + 1))
+    if args.n_values is not None:
+        kwargs["n_values"] = args.n_values
     if args.paper:
         kwargs.setdefault("rounds", 100)
         kwargs.setdefault("seeds", tuple(range(1, 11)))
+        for key, value in paper_scale_kwargs(experiment).items():
+            kwargs.setdefault(key, value)
     return kwargs
+
+
+def _print_progress(event: ProgressEvent) -> None:
+    status = (
+        "cached"
+        if event.cached
+        else f"{event.result.wall_time_s:.1f}s {event.result.events_processed / 1e6:.1f}M events"
+    )
+    print(
+        f"[{event.done}/{event.total}] {event.spec.label()}: "
+        f"{event.result.goodput_mbps:.1f} Mbps ({status})",
+        file=sys.stderr,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -68,10 +135,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     runner = get_runner(args.experiment)
     kwargs = _kwargs_for(args.experiment, args)
+    executor = make_executor(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        progress=None if args.no_progress else _print_progress,
+    )
     started = time.time()
-    result = runner(**kwargs)
+    with using_executor(executor):
+        result = runner(**kwargs)
     elapsed = time.time() - started
-    if args.csv:
+    if args.json:
+        print(result.to_json())
+    elif args.csv:
         sys.stdout.write(result.to_csv())
     else:
         print(result.to_text())

@@ -16,7 +16,7 @@ from typing import Sequence
 
 from ..metrics.cwnd_tracker import stack_state_shares
 from ..metrics.report import format_percent
-from .common import ExperimentResult, run_incast_point
+from .common import ExperimentResult, run_incast_batch
 
 EXPERIMENT_ID = "table1"
 TITLE = "Timeout taxonomy and the cwnd-floor 'incapable' state"
@@ -27,10 +27,16 @@ def run(
     rounds: int = 20,
     seeds: Sequence[int] = (1, 2, 3),
 ) -> ExperimentResult:
+    points = run_incast_batch(
+        [
+            dict(protocol=protocol, n_flows=n, rounds=rounds, seeds=seeds)
+            for n in n_values
+            for protocol in ("dctcp", "tcp")
+        ]
+    )
     rows = []
-    for n in n_values:
-        dctcp = run_incast_point("dctcp", n, rounds=rounds, seeds=seeds)
-        tcp = run_incast_point("tcp", n, rounds=rounds, seeds=seeds)
+    for i, n in enumerate(n_values):
+        dctcp, tcp = points[2 * i : 2 * i + 2]
         d = stack_state_shares(dctcp.flow_stats)
         t = stack_state_shares(tcp.flow_stats)
         rows.append(

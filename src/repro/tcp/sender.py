@@ -380,7 +380,12 @@ class TcpSender:
         self.stats.record_timeout(self.sim.now, kind)
         # CA_Loss analogue: everything up to the pre-timeout high-water mark
         # is now a retransmission; recovery lasts until it is all ACKed.
-        self.rto_recovery_point = self.snd_nxt
+        # The mark never moves down: a back-to-back RTO fires with snd_nxt
+        # already rewound near snd_una, and lowering the mark would make a
+        # late ACK from the original flight look like "data we never sent"
+        # and be discarded forever (the flow then deadlocks retransmitting
+        # one segment the receiver already has).
+        self.rto_recovery_point = max(self.rto_recovery_point, self.snd_nxt)
 
         cfg = self.config
         flight = self.bytes_in_flight

@@ -1,0 +1,220 @@
+"""Tests for the scenario/execution layer (:mod:`repro.exec`).
+
+The load-bearing guarantees:
+
+- a :class:`ScenarioSpec` is frozen, hashable and fully describes one
+  simulation point, with a cache key that changes whenever any field does;
+- ``SerialExecutor`` and ``ParallelExecutor`` produce **identical**
+  aggregates for the same batch (process fan-out must not perturb results);
+- a cache-hit run returns results equal to the cold run.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.exec import (
+    CACHE_DIR_ENV,
+    ParallelExecutor,
+    PointResult,
+    ResultCache,
+    ScenarioSpec,
+    SerialExecutor,
+    WORKERS_ENV,
+    get_executor,
+    make_executor,
+    run_scenario,
+    using_executor,
+)
+
+def tiny_spec(protocol="dctcp", n_flows=2, seed=1, **kwargs):
+    return ScenarioSpec.create(protocol, n_flows, rounds=1, seed=seed, **kwargs)
+
+
+TINY_BATCH = [
+    tiny_spec("dctcp", 2, seed=1),
+    tiny_spec("dctcp", 2, seed=2),
+    tiny_spec("dctcp+", 3, seed=1),
+    tiny_spec("tcp", 2, seed=1),
+]
+
+
+class TestScenarioSpec:
+    def test_frozen_and_hashable(self):
+        spec = tiny_spec()
+        assert spec == tiny_spec()
+        assert len({spec, tiny_spec(), tiny_spec(seed=2)}) == 2
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.n_flows = 99
+
+    def test_cache_key_is_stable(self):
+        assert tiny_spec().cache_key() == tiny_spec().cache_key()
+
+    def test_cache_key_changes_with_every_field(self):
+        base = tiny_spec()
+        variants = [
+            tiny_spec("dctcp+"),
+            tiny_spec(n_flows=3),
+            tiny_spec(seed=2),
+            ScenarioSpec.create("dctcp", 2, rounds=2, seed=1),
+            tiny_spec(rto_min_ms=10.0),
+            tiny_spec(min_cwnd_mss=1.0),
+            tiny_spec(plus_overrides={"divisor_factor": 8.0}),
+            tiny_spec(with_background=True),
+            tiny_spec(sample_queue=True),
+        ]
+        keys = {base.cache_key()} | {v.cache_key() for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_create_maps_convenience_knobs_to_tcp_overrides(self):
+        spec = tiny_spec(rto_min_ms=10.0, min_cwnd_mss=1.0)
+        overrides = dict(spec.tcp_overrides)
+        assert overrides["rto_min_ns"] == 10_000_000
+        assert overrides["min_cwnd_mss"] == 1.0
+
+    def test_to_dict_is_json_serializable(self):
+        spec = tiny_spec(plus_overrides={"divisor_factor": 8.0})
+        roundtrip = json.loads(json.dumps(spec.to_dict()))
+        assert roundtrip == spec.to_dict()
+
+    def test_label_names_the_point(self):
+        assert tiny_spec("dctcp+", 40, seed=3).label() == "dctcp+ N=40 seed=3"
+
+
+class TestRunScenario:
+    def test_smoke_and_telemetry(self):
+        result = run_scenario(tiny_spec())
+        assert result.protocol == "dctcp"
+        assert result.n_flows == 2
+        assert result.seeds == (1,)
+        assert result.goodput_mbps > 0
+        assert result.events_processed > 0
+        assert result.wall_time_s >= 0
+        assert result.bg_throughput_mbps is None
+
+    def test_flow_ids_renumbered_per_scenario(self):
+        # next_flow_id() is process-global; run_scenario must renumber so
+        # the same spec yields the same stats in any worker process.
+        first = run_scenario(tiny_spec())
+        second = run_scenario(tiny_spec())
+        assert sorted({fs.flow_id for fs in first.flow_stats}) == [0, 1]
+        assert first == second
+
+    def test_background_scenario_reports_bg_throughput(self):
+        result = run_scenario(tiny_spec(with_background=True))
+        assert result.bg_throughput_mbps is not None
+        assert result.bg_throughput_mbps > 0
+
+
+class TestExecutors:
+    def test_serial_and_parallel_agree(self):
+        serial = SerialExecutor().map(TINY_BATCH)
+        parallel = ParallelExecutor(workers=2).map(TINY_BATCH)
+        assert serial == parallel
+
+    def test_results_preserve_submission_order(self):
+        results = ParallelExecutor(workers=2).map(TINY_BATCH)
+        labels = [(r.protocol, r.n_flows, r.seeds) for r in results]
+        assert labels == [(s.protocol, s.n_flows, (s.seed,)) for s in TINY_BATCH]
+
+    def test_progress_callback_sees_every_point(self):
+        events = []
+        SerialExecutor(progress=events.append).map(TINY_BATCH[:2])
+        assert [(e.done, e.total) for e in events] == [(1, 2), (2, 2)]
+        assert all(not e.cached for e in events)
+        assert events[0].result.goodput_mbps > 0
+
+    def test_parallel_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=0)
+
+
+class TestResultCache:
+    def test_cold_then_warm_run_identical(self, tmp_path):
+        specs = TINY_BATCH[:2]
+        cold_cache = ResultCache(tmp_path / "c")
+        cold = SerialExecutor(cache=cold_cache).map(specs)
+        assert cold_cache.misses == 2 and cold_cache.hits == 0
+        assert len(cold_cache) == 2
+
+        warm_cache = ResultCache(tmp_path / "c")
+        events = []
+        warm = SerialExecutor(cache=warm_cache, progress=events.append).map(specs)
+        assert warm_cache.hits == 2 and warm_cache.misses == 0
+        assert warm == cold
+        assert all(e.cached for e in events)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        spec = TINY_BATCH[0]
+        cache = ResultCache(tmp_path)
+        cache.path_for(spec).write_text("not json{")
+        assert cache.get(spec) is None
+        result = SerialExecutor(cache=cache).map([spec])[0]
+        assert cache.get(spec) == result
+
+    def test_entry_with_mismatched_spec_is_a_miss(self, tmp_path):
+        spec = TINY_BATCH[0]
+        cache = ResultCache(tmp_path)
+        result = SerialExecutor(cache=cache).map([spec])[0]
+        payload = json.loads(cache.path_for(spec).read_text())
+        payload["spec"]["n_flows"] = 999
+        cache.path_for(spec).write_text(json.dumps(payload))
+        assert cache.get(spec) is None
+        assert result is not None
+
+
+class TestPointResult:
+    def test_aggregate_means_and_sums(self):
+        a, b = SerialExecutor().map(TINY_BATCH[:2])
+        merged = PointResult.aggregate([a, b])
+        assert merged.seeds == (1, 2)
+        assert merged.goodput_mbps == pytest.approx(
+            (a.goodput_mbps + b.goodput_mbps) / 2
+        )
+        assert merged.timeouts == a.timeouts + b.timeouts
+        assert merged.rounds == a.rounds + b.rounds
+        assert len(merged.flow_stats) == len(a.flow_stats) + len(b.flow_stats)
+        assert merged.events_processed == a.events_processed + b.events_processed
+
+    def test_aggregate_rejects_mixed_points(self):
+        a = run_scenario(tiny_spec("dctcp", 2))
+        b = run_scenario(tiny_spec("dctcp", 3))
+        with pytest.raises(ValueError):
+            PointResult.aggregate([a, b])
+
+    def test_json_roundtrip_is_lossless(self):
+        result = run_scenario(tiny_spec(sample_queue=True))
+        roundtrip = PointResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert roundtrip == result
+
+
+class TestExecutorContext:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        executor = make_executor()
+        assert isinstance(executor, SerialExecutor)
+        assert executor.cache is None
+
+    def test_workers_argument_selects_parallel(self):
+        executor = make_executor(workers=3)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.workers == 3
+
+    def test_env_fallbacks(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env-cache"))
+        executor = make_executor()
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.workers == 4
+        assert executor.cache is not None
+
+    def test_using_executor_restores_previous(self):
+        outer = SerialExecutor()
+        inner = SerialExecutor()
+        with using_executor(outer):
+            assert get_executor() is outer
+            with using_executor(inner):
+                assert get_executor() is inner
+            assert get_executor() is outer

@@ -93,6 +93,22 @@ class TestRecoveryUnderInjectedLoss:
         assert receiver.bytes_delivered == 60 * MSS
         assert link.injected_drops > 0
 
+    def test_back_to_back_rto_keeps_recovery_point(self):
+        """Regression: a second RTO must not lower ``rto_recovery_point``.
+
+        Seed 1113 historically deadlocked: the first RTO set the recovery
+        point to the old snd_nxt (13140), the go-back-N rewind brought
+        snd_nxt down, and a *second* RTO then dropped the recovery point to
+        the rewound snd_nxt — after which the receiver's cumulative ACK for
+        13140 exceeded ``high_water`` and was discarded forever.
+        """
+        sim, sender, receiver, link = lossy_flow(
+            random_loss(random.Random(1113), 0.10), total=20 * MSS
+        )
+        sim.run(max_events=5_000_000)
+        assert sender.completed
+        assert receiver.bytes_delivered == 20 * MSS
+
     @settings(max_examples=10, deadline=None)
     @given(seed=st.integers(min_value=0, max_value=10_000))
     def test_eventual_delivery_property(self, seed):

@@ -32,6 +32,10 @@ class TestKwargsMapping:
         args = build_parser().parse_args(["fig14", "--rounds", "5"])
         assert _kwargs_for("fig14", args) == {}
 
+    def test_n_values_forwarded(self):
+        args = build_parser().parse_args(["fig7", "--n-values", "8,16,32"])
+        assert _kwargs_for("fig7", args)["n_values"] == (8, 16, 32)
+
 
 class TestMainExecution:
     def test_unknown_experiment_raises(self):
@@ -61,3 +65,41 @@ class TestMainExecution:
         assert main(["fig1", "--csv"]) == 0
         out = capsys.readouterr().out
         assert out.splitlines()[0] == "a"
+
+    def test_csv_output_keeps_notes(self, capsys, monkeypatch):
+        self._patch_fig1(monkeypatch)
+        assert main(["fig1", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "# note: n" in out
+
+    def test_json_output(self, capsys, monkeypatch):
+        import json
+
+        self._patch_fig1(monkeypatch)
+        assert main(["fig1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "fig1"
+        assert payload["rows"] == [[1]]
+        assert payload["notes"] == ["n"]
+
+    def test_workers_and_cache_dir_reach_the_executor(self, monkeypatch, tmp_path):
+        from repro.exec import ParallelExecutor, get_executor
+        from repro.experiments import registry
+        from repro.experiments.common import ExperimentResult
+
+        seen = {}
+
+        def spy_run(**kwargs):
+            seen["executor"] = get_executor()
+            return ExperimentResult("fig1", "stub", ["a"], [[1]])
+
+        monkeypatch.setitem(registry._MODULES, "fig1", type(
+            "M", (), {"run": staticmethod(spy_run), "EXPERIMENT_ID": "fig1", "TITLE": "stub"}
+        ))
+        cache_dir = tmp_path / "cache"
+        assert main(["fig1", "--workers", "2", "--cache-dir", str(cache_dir)]) == 0
+        executor = seen["executor"]
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.workers == 2
+        assert executor.cache is not None
+        assert cache_dir.is_dir()
