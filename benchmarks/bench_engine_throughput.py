@@ -36,11 +36,27 @@ def test_packet_path_throughput(benchmark):
     def one_round():
         sim = Simulator(seed=1)
         tree = build_two_tier(sim)
-        wl = IncastWorkload(
-            sim, tree, spec_for("dctcp"), IncastConfig(n_flows=10, n_rounds=1)
-        )
+        wl = IncastWorkload(sim, tree, spec_for("dctcp"), IncastConfig(n_flows=10, n_rounds=1))
         wl.run_to_completion(max_events=5_000_000)
         return sim.events_processed
 
     events = benchmark(one_round)
     assert events > 1000
+
+
+def test_incast_n64_engine_throughput(benchmark):
+    """The headline engine scenario: 64-flow DCTCP incast, 10 rounds.
+
+    Mirrors ``python -m repro.bench``'s ``incast-dctcp-n64`` scenario (the
+    one the PR-level >=1.3x speedup claim is measured on), via the same
+    :func:`run_scenario` entry point the bench harness times.
+    """
+    from repro.bench import SCENARIOS
+    from repro.exec.scenario import run_scenario
+
+    spec = next(s for s in SCENARIOS if s.name == "incast-dctcp-n64").spec
+
+    result = benchmark(lambda: run_scenario(spec))
+    # Deterministic invariant (also pinned by BENCH_engine.json): a change
+    # here is a behaviour change, not a performance change.
+    assert result.events_processed == 98_679

@@ -40,7 +40,4 @@ def test_d2tcp_plus_meets_deadlines(benchmark):
     # deadlines; the enhanced variant meets (nearly) all of its deadlines.
     assert results["d2tcp"].missed_deadline_fraction > 0.1
     assert results["d2tcp+"].missed_deadline_fraction < 0.05
-    assert (
-        results["d2tcp+"].missed_deadline_fraction
-        < results["d2tcp"].missed_deadline_fraction
-    )
+    assert results["d2tcp+"].missed_deadline_fraction < results["d2tcp"].missed_deadline_fraction

@@ -32,9 +32,7 @@ def _drops(make_switch):
 def test_static_vs_shared_buffer_burst(benchmark):
     def compare():
         static = _drops(lambda sim: Switch(sim, buffer_bytes=128 * 1024))
-        shared = _drops(
-            lambda sim: SharedBufferSwitch(sim, shared_pool_bytes=4 * 128 * 1024)
-        )
+        shared = _drops(lambda sim: SharedBufferSwitch(sim, shared_pool_bytes=4 * 128 * 1024))
         return static, shared
 
     static, shared = benchmark.pedantic(compare, rounds=1, iterations=1)

@@ -6,9 +6,7 @@ from repro.experiments.fig13_benchmark import run
 def test_fig13_benchmark_traffic(benchmark):
     result = benchmark.pedantic(
         run,
-        kwargs=dict(
-            n_queries=120, n_background=120, n_short=24, query_fanout=120
-        ),
+        kwargs=dict(n_queries=120, n_background=120, n_short=24, query_fanout=120),
         rounds=1,
         iterations=1,
     )

@@ -1,0 +1,34 @@
+"""Engine throughput benchmarking (``python -m repro.bench``).
+
+Times canonical simulation scenarios end-to-end and maintains the
+committed performance baseline (``BENCH_engine.json``) that the CI bench
+job gates pull requests against.  See :mod:`repro.bench.scenarios` for
+the scenario set and :mod:`repro.bench.harness` for the measurement and
+comparison machinery.
+"""
+
+from .harness import (
+    BASELINE_SCHEMA,
+    ScenarioTiming,
+    compare,
+    environment_info,
+    load_baseline,
+    run_benchmarks,
+    time_scenario,
+    write_baseline,
+)
+from .scenarios import SCENARIOS, BenchScenario, select
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BenchScenario",
+    "SCENARIOS",
+    "ScenarioTiming",
+    "compare",
+    "environment_info",
+    "load_baseline",
+    "run_benchmarks",
+    "select",
+    "time_scenario",
+    "write_baseline",
+]

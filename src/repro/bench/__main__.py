@@ -1,0 +1,101 @@
+"""``python -m repro.bench`` — engine throughput benchmark & CI gate.
+
+Modes
+-----
+- Default: time every scenario, print a table.
+- ``--quick``: the small scenario subset (what CI runs).
+- ``--write PATH``: also write the results as a baseline file.
+- ``--baseline PATH``: compare against a committed baseline and exit
+  non-zero on a regression beyond ``--max-regression`` (default 25%).
+
+The regression gate compares *this machine now* against *the machine that
+wrote the baseline*, so the tolerance is deliberately loose; it exists to
+catch order-of-magnitude mistakes (an accidentally quadratic queue, a
+debug loop left in the hot path), not single-digit noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .harness import compare, load_baseline, run_benchmarks, write_baseline
+from .scenarios import SCENARIOS, select
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Time the simulation engine on canonical scenarios.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run only the quick subset (the CI gate set)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="runs per scenario, median reported (default: 5, or 3 with --quick)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="benchmark only this scenario (repeatable); see --list",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list scenario names and exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="compare against a committed baseline JSON; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="fraction of events/sec loss tolerated vs baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--write",
+        metavar="PATH",
+        help="write the results to PATH as a new baseline",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for scenario in SCENARIOS:
+            tag = " [quick]" if scenario.quick else ""
+            print(f"{scenario.name}{tag}: {scenario.description}")
+        return 0
+
+    repeats = args.repeats if args.repeats is not None else (3 if args.quick else 5)
+    scenarios = select(names=args.scenario, quick=args.quick)
+
+    payload = run_benchmarks(scenarios, repeats, progress=print)
+
+    if args.write:
+        write_baseline(args.write, payload)
+        print(f"wrote baseline: {args.write}")
+
+    if args.baseline:
+        baseline = load_baseline(args.baseline)
+        lines, ok = compare(payload, baseline, args.max_regression)
+        print(f"\ncomparison vs {args.baseline} (gate: -{args.max_regression:.0%}):")
+        for line in lines:
+            print(f"  {line}")
+        if not ok:
+            print("benchmark gate FAILED")
+            return 1
+        print("benchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

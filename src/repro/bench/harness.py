@@ -1,0 +1,166 @@
+"""Benchmark harness: time scenarios, encode/compare baselines.
+
+The measurement unit is one direct :func:`~repro.exec.scenario.run_scenario`
+call — no executor, no result cache — so every repeat is a cold simulation
+of the spec and the wall clock measures only the engine.  Each scenario is
+simulated ``repeats`` times and summarized by the **median** events/sec and
+wall seconds, which is robust to one-off scheduler hiccups without hiding
+sustained slowness.
+
+The on-disk baseline (``BENCH_engine.json``) is the contract for the CI
+gate: :func:`compare` fails when any scenario's median events/sec drops
+more than ``max_regression`` below the committed value, and fails on *any*
+event-count mismatch (the counts are deterministic, so a mismatch means
+the simulation changed behaviour and the timing is not comparable).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exec.scenario import run_scenario
+from .scenarios import BenchScenario
+
+#: Baseline file schema version (bump on shape changes).
+BASELINE_SCHEMA = 1
+
+
+@dataclass
+class ScenarioTiming:
+    """Median timing of one scenario over ``repeats`` runs."""
+
+    name: str
+    events: int
+    median_events_per_sec: float
+    median_wall_s: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "events": self.events,
+            "median_events_per_sec": round(self.median_events_per_sec, 1),
+            "median_wall_s": round(self.median_wall_s, 4),
+        }
+
+
+def time_scenario(scenario: BenchScenario, repeats: int) -> ScenarioTiming:
+    """Run one scenario ``repeats`` times; return the median timing."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    walls: List[float] = []
+    events = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run_scenario(scenario.spec)
+        walls.append(time.perf_counter() - started)
+        events = result.events_processed
+    median_wall = statistics.median(walls)
+    return ScenarioTiming(
+        name=scenario.name,
+        events=events,
+        median_events_per_sec=events / median_wall,
+        median_wall_s=median_wall,
+    )
+
+
+def environment_info() -> Dict[str, object]:
+    """Host fingerprint stored alongside a baseline (context, not identity:
+    comparisons never require the environment to match)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def run_benchmarks(
+    scenarios: Sequence[BenchScenario],
+    repeats: int,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Time every scenario; return the JSON-ready baseline payload."""
+    timings: Dict[str, Dict[str, object]] = {}
+    for scenario in scenarios:
+        timing = time_scenario(scenario, repeats)
+        timings[scenario.name] = timing.to_dict()
+        if progress is not None:
+            progress(
+                f"{scenario.name}: {timing.events} events, "
+                f"{timing.median_events_per_sec:,.0f} events/s, "
+                f"{timing.median_wall_s:.3f} s"
+            )
+    return {
+        "schema": BASELINE_SCHEMA,
+        "repeats": repeats,
+        "environment": environment_info(),
+        "scenarios": timings,
+    }
+
+
+def load_baseline(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    schema = payload.get("schema")
+    if schema != BASELINE_SCHEMA:
+        raise ValueError(f"baseline {path} has schema {schema!r}, expected {BASELINE_SCHEMA}")
+    return payload
+
+
+def write_baseline(path: str, payload: Dict[str, object]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def compare(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    max_regression: float,
+) -> Tuple[List[str], bool]:
+    """Diff a fresh run against a committed baseline.
+
+    Returns ``(report_lines, ok)``.  A scenario fails the gate when its
+    median events/sec falls more than ``max_regression`` (a fraction, e.g.
+    0.25) below the baseline, or when its deterministic event count does
+    not match the baseline's.  Scenarios present on only one side are
+    reported but do not fail the gate (the set evolves across PRs).
+    """
+    lines: List[str] = []
+    ok = True
+    base_scenarios: Dict[str, Dict] = baseline["scenarios"]
+    cur_scenarios: Dict[str, Dict] = current["scenarios"]
+    for name, cur in cur_scenarios.items():
+        base = base_scenarios.get(name)
+        if base is None:
+            lines.append(f"{name}: no baseline entry (skipped)")
+            continue
+        if cur["events"] != base["events"]:
+            ok = False
+            lines.append(
+                f"{name}: FAIL event count changed "
+                f"{base['events']} -> {cur['events']} (simulation behaviour "
+                "changed; regenerate the baseline only if this is intended)"
+            )
+            continue
+        cur_eps = cur["median_events_per_sec"]
+        base_eps = base["median_events_per_sec"]
+        delta = cur_eps / base_eps - 1.0
+        verdict = "ok"
+        if delta < -max_regression:
+            ok = False
+            verdict = f"FAIL (>{max_regression:.0%} regression)"
+        lines.append(
+            f"{name}: {cur_eps:,.0f} events/s vs baseline {base_eps:,.0f} "
+            f"({delta:+.1%}) {verdict}"
+        )
+    for name in base_scenarios:
+        if name not in cur_scenarios:
+            lines.append(f"{name}: in baseline but not benchmarked this run")
+    return lines, ok

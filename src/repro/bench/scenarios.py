@@ -1,0 +1,108 @@
+"""Canonical engine-throughput scenarios.
+
+Each scenario is one :class:`~repro.exec.scenario.ScenarioSpec` chosen to
+exercise the hot path the way the paper's experiments do: pure incast
+fan-in at several concurrency levels for both DCTCP and DCTCP+, plus the
+Fig. 11 mix where incast competes with persistent background flows.
+
+The specs are deterministic (fixed seed), so the *event count* of every
+scenario is an invariant: a benchmark run whose event count differs from
+the committed baseline is a behaviour change, not a performance change,
+and the comparison fails loudly rather than reporting a bogus speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..exec.scenario import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One named benchmark point.
+
+    ``quick`` marks the subset run by ``python -m repro.bench --quick``
+    (the CI gate): small enough to finish in seconds, still covering both
+    protocols and the background mix.
+    """
+
+    name: str
+    description: str
+    spec: ScenarioSpec
+    quick: bool = False
+
+
+def _incast(protocol: str, n_flows: int, rounds: int = 10) -> ScenarioSpec:
+    return ScenarioSpec.create(protocol, n_flows, rounds=rounds, seed=1)
+
+
+SCENARIOS: Tuple[BenchScenario, ...] = (
+    BenchScenario(
+        "incast-dctcp-n16",
+        "16-flow incast, DCTCP, 10 rounds",
+        _incast("dctcp", 16),
+        quick=True,
+    ),
+    BenchScenario(
+        "incast-dctcp-n64",
+        "64-flow incast, DCTCP, 10 rounds (the headline engine benchmark)",
+        _incast("dctcp", 64),
+        quick=True,
+    ),
+    BenchScenario(
+        "incast-dctcp-n256",
+        "256-flow incast, DCTCP, 10 rounds",
+        _incast("dctcp", 256),
+    ),
+    BenchScenario(
+        "incast-dctcp+-n16",
+        "16-flow incast, DCTCP+, 10 rounds",
+        _incast("dctcp+", 16),
+        quick=True,
+    ),
+    BenchScenario(
+        "incast-dctcp+-n64",
+        "64-flow incast, DCTCP+, 10 rounds",
+        _incast("dctcp+", 64),
+        quick=True,
+    ),
+    BenchScenario(
+        "incast-dctcp+-n256",
+        "256-flow incast, DCTCP+, 10 rounds",
+        _incast("dctcp+", 256),
+    ),
+    BenchScenario(
+        "fig11-background-mix",
+        "64-flow DCTCP+ incast over 2 persistent background flows (Fig. 11 mix)",
+        ScenarioSpec.create(
+            "dctcp+",
+            64,
+            rounds=5,
+            seed=1,
+            with_background=True,
+            min_cwnd_mss=1.0,
+            incast_overrides={"round_deadline_ns": 5_000_000_000},
+        ),
+    ),
+)
+
+
+def select(names=None, quick: bool = False) -> Tuple[BenchScenario, ...]:
+    """Resolve the scenario set for one benchmark invocation.
+
+    ``names`` (if given) filters by exact scenario name; ``quick`` restricts
+    to the quick subset.  Unknown names raise ``KeyError`` so typos in CI
+    configuration cannot silently benchmark nothing.
+    """
+    chosen = SCENARIOS
+    if quick:
+        chosen = tuple(s for s in chosen if s.quick)
+    if names:
+        by_name = {s.name: s for s in SCENARIOS}
+        missing = [n for n in names if n not in by_name]
+        if missing:
+            raise KeyError(f"unknown benchmark scenario(s): {', '.join(missing)}")
+        chosen = tuple(by_name[n] for n in names)
+    return chosen

@@ -47,13 +47,9 @@ class DctcpPlusSender(DctcpSender):
         rng: Optional[random.Random] = None,
     ):
         self.plus_config = plus_config or DctcpPlusConfig()
-        config = (config or TcpConfig()).with_overrides(
-            min_cwnd_mss=self.plus_config.min_cwnd_mss
-        )
+        config = (config or TcpConfig()).with_overrides(min_cwnd_mss=self.plus_config.min_cwnd_mss)
         super().__init__(sim, host, dst_node_id, flow_id, config, stats, on_complete)
-        machine_rng = (
-            rng if rng is not None else sim.stream(f"dctcp+/{sim.next_sequence()}")
-        )
+        machine_rng = rng if rng is not None else sim.stream(f"dctcp+/{sim.next_sequence()}")
         self.machine = SlowTimeStateMachine(self.plus_config, machine_rng)
         if self.plus_config.backoff_unit_mode == "srtt":
             self.machine.unit_source = self._srtt_unit

@@ -59,9 +59,7 @@ class ResultCache:
         }
         path = self.path_for(spec)
         try:
-            fd, tmp = tempfile.mkstemp(
-                dir=self.directory, prefix=path.stem, suffix=".tmp"
-            )
+            fd, tmp = tempfile.mkstemp(dir=self.directory, prefix=path.stem, suffix=".tmp")
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(entry, fh)
             os.replace(tmp, path)

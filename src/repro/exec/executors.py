@@ -94,9 +94,7 @@ class Executor:
             self.cache.put(spec, result)
         self._emit(spec, result, cached=False, total=total)
 
-    def _emit(
-        self, spec: ScenarioSpec, result: PointResult, cached: bool, total: int
-    ) -> None:
+    def _emit(self, spec: ScenarioSpec, result: PointResult, cached: bool, total: int) -> None:
         self._done += 1
         if self.progress is not None:
             self.progress(
@@ -145,9 +143,7 @@ class ParallelExecutor(Executor):
             return
         max_workers = min(self.workers, len(pending))
         with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {
-                pool.submit(run_scenario, specs[i]): i for i in pending
-            }
+            futures = {pool.submit(run_scenario, specs[i]): i for i in pending}
             for future in concurrent.futures.as_completed(futures):
                 i = futures[future]
                 self._finish(i, specs[i], future.result(), results, total)

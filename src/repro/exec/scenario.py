@@ -119,9 +119,7 @@ class ScenarioSpec:
         return TopologyParams(**dict(self.topo_overrides))
 
     def incast_config(self) -> IncastConfig:
-        kwargs: Dict[str, object] = dict(
-            n_flows=self.n_flows, n_rounds=self.rounds
-        )
+        kwargs: Dict[str, object] = dict(n_flows=self.n_flows, n_rounds=self.rounds)
         kwargs.update(dict(self.incast_overrides))
         return IncastConfig(**kwargs)
 
@@ -265,9 +263,7 @@ def _flowstats_to_dict(fs: FlowStats) -> Dict[str, object]:
         "acks_received": fs.acks_received,
         "dupacks_received": fs.dupacks_received,
         "ece_acks_received": fs.ece_acks_received,
-        "send_snapshots": [
-            [cwnd, ece, count] for (cwnd, ece), count in fs.send_snapshots.items()
-        ],
+        "send_snapshots": [[cwnd, ece, count] for (cwnd, ece), count in fs.send_snapshots.items()],
     }
 
 
@@ -284,9 +280,7 @@ def _flowstats_from_dict(data: Mapping[str, object]) -> FlowStats:
         acks_received=data["acks_received"],
         dupacks_received=data["dupacks_received"],
         ece_acks_received=data["ece_acks_received"],
-        send_snapshots={
-            (cwnd, ece): count for cwnd, ece, count in data["send_snapshots"]
-        },
+        send_snapshots={(cwnd, ece): count for cwnd, ece, count in data["send_snapshots"]},
     )
 
 

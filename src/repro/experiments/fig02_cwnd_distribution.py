@@ -46,7 +46,9 @@ def run(
     # Collect any mass beyond the plotted bins so columns sum to 1.
     tail_row: list = [">10"]
     for key in distributions:
-        tail = sum(f for c, f in distributions[key].items() if c > CWND_BINS[-1] or c < CWND_BINS[0])
+        tail = sum(
+            f for c, f in distributions[key].items() if c > CWND_BINS[-1] or c < CWND_BINS[0]
+        )
         tail_row.append(round(tail, 4))
     rows.append(tail_row)
     return ExperimentResult(

@@ -23,9 +23,7 @@ def run(
     rounds: int = 20,
     seeds: Sequence[int] = (1, 2, 3),
 ) -> ExperimentResult:
-    sweep = run_incast_sweep(
-        ("dctcp+norand", "dctcp"), n_values, rounds=rounds, seeds=seeds
-    )
+    sweep = run_incast_sweep(("dctcp+norand", "dctcp"), n_values, rounds=rounds, seeds=seeds)
     rows = []
     for i, n in enumerate(n_values):
         partial = sweep["dctcp+norand"][i]

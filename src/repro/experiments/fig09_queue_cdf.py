@@ -39,9 +39,7 @@ def run(
     headers = ["queue <= KB"]
     columns = []
     for request, point in zip(requests, run_incast_batch(requests)):
-        probs = cdf_at(
-            [q / 1024.0 for q in point.queue_samples_bytes], THRESHOLDS_KB
-        )
+        probs = cdf_at([q / 1024.0 for q in point.queue_samples_bytes], THRESHOLDS_KB)
         headers.append(f"{request['protocol']}/N={request['n_flows']}")
         columns.append(probs)
     rows = []

@@ -20,6 +20,7 @@ def run(
     n_values: Sequence[int] = (20, 40, 60, 80, 120, 160, 200),
     rounds: int = 20,
     seeds: Sequence[int] = (1, 2, 3),
+    round_deadline_ns: int = 5_000_000_000,
 ) -> ExperimentResult:
     protocols = ("dctcp+", "dctcp", "tcp")
     points = run_incast_batch(
@@ -33,9 +34,9 @@ def run(
                 min_cwnd_mss=1.0 if protocol.startswith("dctcp+") else None,
                 # Under sustained background congestion a collapsed TCP
                 # round can back its RTO off into the minutes; cap the
-                # round at 5 s (it is recorded as failed and the goodput
-                # reflects it) instead of simulating the whole stall.
-                incast_overrides={"round_deadline_ns": 5_000_000_000},
+                # round (default 5 s; it is recorded as failed and the
+                # goodput reflects it) instead of simulating the stall.
+                incast_overrides={"round_deadline_ns": round_deadline_ns},
             )
             for n in n_values
             for protocol in protocols

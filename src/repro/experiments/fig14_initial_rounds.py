@@ -39,9 +39,7 @@ def run(
     sampler = QueueSampler(sim, tree.bottleneck_port)
     sampler.start()
     spec = make_spec("dctcp+", min_cwnd_mss=1.0)
-    config = IncastConfig(
-        n_flows=n_flows, bytes_per_flow=bytes_per_flow, n_rounds=rounds
-    )
+    config = IncastConfig(n_flows=n_flows, bytes_per_flow=bytes_per_flow, n_rounds=rounds)
     workload = IncastWorkload(sim, tree, spec, config)
 
     drop_marks: List[int] = []

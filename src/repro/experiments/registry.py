@@ -6,7 +6,7 @@ the same drivers so the bench and the CLI always run identical code.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable
 
 from . import (
     fig01_goodput_collapse,

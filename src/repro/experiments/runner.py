@@ -66,9 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N1,N2,...",
         help="comma-separated flow counts for sweep experiments",
     )
-    parser.add_argument(
-        "--paper", action="store_true", help="paper-scale configuration (slow)"
-    )
+    parser.add_argument("--paper", action="store_true", help="paper-scale configuration (slow)")
     parser.add_argument(
         "--workers",
         type=int,

@@ -13,7 +13,7 @@ those snapshots into:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable
 
 from ..tcp.timeouts import TimeoutKind
 from .flowstats import FlowStats
@@ -53,9 +53,7 @@ class StackStateShares:
     timeouts: int
 
 
-def stack_state_shares(
-    stats: Iterable[FlowStats], incapable_cwnd_mss: int = 2
-) -> StackStateShares:
+def stack_state_shares(stats: Iterable[FlowStats], incapable_cwnd_mss: int = 2) -> StackStateShares:
     """Compute Table I's percentages over a set of flows.
 
     The paper traces "one flow randomly selected" over the whole
@@ -64,9 +62,7 @@ def stack_state_shares(
     """
     stats = list(stats)
     transmissions = sum(sum(fs.send_snapshots.values()) for fs in stats)
-    incapable = sum(
-        fs.send_snapshots.get((incapable_cwnd_mss, True), 0) for fs in stats
-    )
+    incapable = sum(fs.send_snapshots.get((incapable_cwnd_mss, True), 0) for fs in stats)
     timeouts = sum(fs.timeout_count for fs in stats)
     floss = sum(fs.timeout_count_of(TimeoutKind.FLOSS) for fs in stats)
     lack = sum(fs.timeout_count_of(TimeoutKind.LACK) for fs in stats)

@@ -8,7 +8,7 @@ backlog into a plain list, post-processed with numpy.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -29,9 +29,7 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: 
     widths = [len(h) for h in headers]
     for row in str_rows:
         if len(row) != len(headers):
-            raise ValueError(
-                f"row has {len(row)} cells but table has {len(headers)} columns"
-            )
+            raise ValueError(f"row has {len(row)} cells but table has {len(headers)} columns")
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
     sep = "-+-".join("-" * w for w in widths)

@@ -20,7 +20,7 @@ Usage::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -125,9 +125,7 @@ class FlowTracer:
     def series(self, field_name: str) -> Tuple[np.ndarray, np.ndarray]:
         """(time_ns, values) arrays for one sampled field."""
         if field_name not in self.samples:
-            raise KeyError(
-                f"unknown field {field_name!r}; choose from {SAMPLED_FIELDS}"
-            )
+            raise KeyError(f"unknown field {field_name!r}; choose from {SAMPLED_FIELDS}")
         return (
             np.asarray(self.times_ns, dtype=np.int64),
             np.asarray(self.samples[field_name], dtype=np.float64),

@@ -8,7 +8,7 @@ drop-the-nth-packet, and fully scripted drop decisions.
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional, TYPE_CHECKING
+from typing import Callable, TYPE_CHECKING
 
 from ..sim.engine import Simulator
 from .link import Link

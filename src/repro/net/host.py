@@ -33,12 +33,14 @@ class FlowEndpoint(Protocol):
 class Host(Node):
     """A server in the testbed (aggregator or worker)."""
 
-    __slots__ = ("nic", "_flows", "undeliverable_packets")
+    __slots__ = ("nic", "_flows", "_flows_get", "undeliverable_packets")
 
     def __init__(self, sim: Simulator, name: str = ""):
         super().__init__(sim, name)
         self.nic: Optional[OutputPort] = None
         self._flows: Dict[int, FlowEndpoint] = {}
+        # Bound once: the demux lookup runs for every delivered packet.
+        self._flows_get = self._flows.get
         self.undeliverable_packets = 0
 
     def attach_link(self, link: Link, nic_buffer_bytes: int = DEFAULT_NIC_BUFFER_BYTES) -> None:
@@ -62,7 +64,7 @@ class Host(Node):
         return self.nic.send(packet)
 
     def receive(self, packet: Packet) -> None:
-        endpoint = self._flows.get(packet.flow_id)
+        endpoint = self._flows_get(packet.flow_id)
         if endpoint is None:
             self.undeliverable_packets += 1
             return

@@ -9,7 +9,7 @@ experiments use them (data one way, ACKs the other, no interference).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict
 
 from ..sim.engine import Simulator
 from ..sim.units import GBPS, transmission_time_ns
@@ -26,7 +26,15 @@ DEFAULT_PROP_DELAY_NS = 12_000  # 12 us per hop -> ~100 us unloaded RTT
 class Link:
     """One direction of a cable: serialization + propagation to ``dst``."""
 
-    __slots__ = ("rate_bps", "prop_delay_ns", "dst", "delivered_packets", "delivered_bytes")
+    __slots__ = (
+        "rate_bps",
+        "prop_delay_ns",
+        "dst",
+        "delivered_packets",
+        "delivered_bytes",
+        "_ser_ns",
+        "_dst_receive",
+    )
 
     def __init__(
         self,
@@ -43,10 +51,21 @@ class Link:
         self.dst = dst
         self.delivered_packets = 0
         self.delivered_bytes = 0
+        # Traffic uses a handful of frame sizes (full MSS, pure ACK, tail
+        # segments), so serialization delays memoize to a tiny dict and the
+        # per-packet ceil-division drops out of the hot path.
+        self._ser_ns: Dict[int, int] = {}
+        # dst may legitimately be None in unit tests that only exercise the
+        # delay arithmetic; propagate() would fail on such a link either way.
+        self._dst_receive = dst.receive if dst is not None else None
 
     def serialization_delay(self, packet: "Packet") -> int:
         """Time to clock ``packet`` onto the wire, in nanoseconds."""
-        return transmission_time_ns(packet.wire_bytes, self.rate_bps)
+        wire_bytes = packet.wire_bytes
+        delay = self._ser_ns.get(wire_bytes)
+        if delay is None:
+            delay = self._ser_ns[wire_bytes] = transmission_time_ns(wire_bytes, self.rate_bps)
+        return delay
 
     def propagate(self, sim: Simulator, packet: "Packet") -> None:
         """Deliver ``packet`` to the far end after the propagation delay.
@@ -55,4 +74,4 @@ class Link:
         """
         self.delivered_packets += 1
         self.delivered_bytes += packet.wire_bytes
-        sim.schedule(self.prop_delay_ns, self.dst.receive, packet)
+        sim.schedule(self.prop_delay_ns, self._dst_receive, packet)

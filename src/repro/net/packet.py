@@ -14,15 +14,14 @@ ECN field semantics follow RFC 3168 naming:
 
 from __future__ import annotations
 
-from itertools import count
-
 #: Wire size of a full-MSS data frame: 1460 B payload + 40 B TCP/IP headers.
 DEFAULT_MSS = 1460
 HEADER_BYTES = 40
 #: Wire size of a pure ACK (headers only, padded to minimum Ethernet frame).
 ACK_BYTES = 64
 
-_packet_ids = count()
+#: ``packet_id`` of a packet that was never assigned one by its simulator.
+UNASSIGNED_PACKET_ID = -1
 
 
 class Packet:
@@ -60,8 +59,13 @@ class Packet:
         ece: bool = False,
         wire_bytes: int = 0,
         is_retransmit: bool = False,
+        packet_id: int = UNASSIGNED_PACKET_ID,
     ):
-        self.packet_id = next(_packet_ids)
+        # Ids come from the owning Simulator (Simulator.next_packet_id), not
+        # a process-global counter: a module-level count() would make ids
+        # depend on everything that ran earlier in the process, breaking
+        # run-to-run and serial-vs-worker-pool reproducibility.
+        self.packet_id = packet_id
         self.flow_id = flow_id
         self.src = src
         self.dst = dst
@@ -104,6 +108,7 @@ def make_data_packet(
     *,
     ect: bool = False,
     is_retransmit: bool = False,
+    packet_id: int = UNASSIGNED_PACKET_ID,
 ) -> Packet:
     """Build a data segment (payload + 40 B header on the wire)."""
     return Packet(
@@ -114,6 +119,7 @@ def make_data_packet(
         payload_len=payload_len,
         ect=ect,
         is_retransmit=is_retransmit,
+        packet_id=packet_id,
     )
 
 
@@ -124,6 +130,7 @@ def make_ack_packet(
     ack_seq: int,
     *,
     ece: bool = False,
+    packet_id: int = UNASSIGNED_PACKET_ID,
 ) -> Packet:
     """Build a pure cumulative ACK (64 B on the wire)."""
     return Packet(
@@ -134,4 +141,5 @@ def make_ack_packet(
         ack_seq=ack_seq,
         ece=ece,
         wire_bytes=ACK_BYTES,
+        packet_id=packet_id,
     )

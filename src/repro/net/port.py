@@ -4,11 +4,13 @@ The port implements the standard store-and-forward egress pump: when a
 packet is admitted to an idle port it begins serializing immediately; when
 serialization finishes the frame is handed to the link for propagation and
 the next queued frame (if any) starts serializing.
+
+Every packet in every experiment crosses several ports, so the pump binds
+its collaborators (queue ops, link delay lookup, scheduler) once at
+construction instead of chasing attributes per packet.
 """
 
 from __future__ import annotations
-
-from typing import Optional
 
 from ..sim.engine import Simulator
 from .link import Link
@@ -31,23 +33,63 @@ class OutputPort:
         Identifier used by instrumentation (e.g. ``"switch1->aggregator"``).
     """
 
-    __slots__ = ("sim", "link", "queue", "name", "_busy", "tx_packets", "tx_bytes")
+    __slots__ = (
+        "sim",
+        "_link",
+        "queue",
+        "name",
+        "_busy",
+        "tx_packets",
+        "tx_bytes",
+        "_enqueue",
+        "_dequeue",
+        "_backlog",
+        "_ser_delay",
+        "_ser_get",
+        "_propagate",
+        "_schedule",
+    )
 
     def __init__(self, sim: Simulator, link: Link, queue: DropTailQueue, name: str = ""):
         self.sim = sim
-        self.link = link
         self.queue = queue
         self.name = name
         self._busy = False
         self.tx_packets = 0
         self.tx_bytes = 0
+        self._enqueue = queue.enqueue
+        self._dequeue = queue.dequeue
+        # The queue's backing deque, tested for emptiness before paying the
+        # dequeue call; roughly half of all pump polls find nothing queued.
+        self._backlog = queue._queue
+        self._schedule = sim.schedule
+        self.link = link  # property: also binds the link fast paths
+
+    @property
+    def link(self) -> Link:
+        return self._link
+
+    @link.setter
+    def link(self, link: Link) -> None:
+        """Attach ``link``, rebinding the pump's per-packet fast paths.
+
+        A property so that tests splicing a replacement link (e.g. a
+        :class:`~repro.net.faults.FaultyLink`) onto a built port keep the
+        bound methods coherent with the active link.
+        """
+        self._link = link
+        self._ser_delay = link.serialization_delay
+        # Fast path for the delay lookup: probe the link's memo dict
+        # directly and only fall back to the computing method on a miss.
+        self._ser_get = link._ser_ns.get
+        self._propagate = link.propagate
 
     def send(self, packet: Packet) -> bool:
         """Admit ``packet`` to the egress queue; start the pump if idle.
 
         Returns False when the queue dropped the packet.
         """
-        if not self.queue.enqueue(packet):
+        if not self._enqueue(packet):
             return False
         if not self._busy:
             self._start_next()
@@ -59,16 +101,18 @@ class OutputPort:
         return self.queue.occupancy_bytes
 
     def _start_next(self) -> None:
-        packet = self.queue.dequeue()
-        if packet is None:
+        if not self._backlog:
             self._busy = False
             return
+        packet = self._dequeue()
         self._busy = True
-        delay = self.link.serialization_delay(packet)
-        self.sim.schedule(delay, self._finish_tx, packet)
+        delay = self._ser_get(packet.wire_bytes)
+        if delay is None:
+            delay = self._ser_delay(packet)
+        self._schedule(delay, self._finish_tx, packet)
 
     def _finish_tx(self, packet: Packet) -> None:
         self.tx_packets += 1
         self.tx_bytes += packet.wire_bytes
-        self.link.propagate(self.sim, packet)
+        self._propagate(self.sim, packet)
         self._start_next()

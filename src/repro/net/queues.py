@@ -59,9 +59,7 @@ class DropTailQueue:
         if capacity_bytes <= 0:
             raise ValueError(f"queue capacity must be positive, got {capacity_bytes}")
         if ecn_threshold_bytes is not None and ecn_threshold_bytes < 0:
-            raise ValueError(
-                f"ECN threshold must be non-negative, got {ecn_threshold_bytes}"
-            )
+            raise ValueError(f"ECN threshold must be non-negative, got {ecn_threshold_bytes}")
         self.capacity_bytes = capacity_bytes
         self.ecn_threshold_bytes = ecn_threshold_bytes
         self._queue: Deque[Packet] = deque()
@@ -83,34 +81,37 @@ class DropTailQueue:
         ECN marking uses the occupancy *including* the queued bytes already
         present (instantaneous queue length seen by the arriving packet), the
         same rule as the DCTCP switch: mark if ``queue length > K``.
+
+        Runs once per packet per hop; occupancy and wire size are read into
+        locals once.
         """
-        if (
-            self.ecn_threshold_bytes is not None
-            and packet.ect
-            and self.occupancy_bytes > self.ecn_threshold_bytes
-        ):
+        occupancy = self.occupancy_bytes
+        wire_bytes = packet.wire_bytes
+        threshold = self.ecn_threshold_bytes
+        if threshold is not None and packet.ect and occupancy > threshold:
             if not packet.ce:
                 packet.ce = True
                 self.marked_packets += 1
                 if self.on_mark is not None:
                     self.on_mark(packet)
-        if self.occupancy_bytes + packet.wire_bytes > self.capacity_bytes:
+        if occupancy + wire_bytes > self.capacity_bytes:
             self.dropped_packets += 1
-            self.dropped_bytes += packet.wire_bytes
+            self.dropped_bytes += wire_bytes
             if self.on_drop is not None:
                 self.on_drop(packet)
             return False
         self._queue.append(packet)
-        self.occupancy_bytes += packet.wire_bytes
+        self.occupancy_bytes = occupancy + wire_bytes
         self.enqueued_packets += 1
-        self.enqueued_bytes += packet.wire_bytes
+        self.enqueued_bytes += wire_bytes
         return True
 
     def dequeue(self) -> Optional[Packet]:
         """Remove and return the head-of-line packet (None when empty)."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             return None
-        packet = self._queue.popleft()
+        packet = queue.popleft()
         self.occupancy_bytes -= packet.wire_bytes
         return packet
 

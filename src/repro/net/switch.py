@@ -23,7 +23,14 @@ from .queues import DEFAULT_BUFFER_BYTES, DEFAULT_ECN_THRESHOLD, DropTailQueue
 class Switch(Node):
     """ECN-capable output-queued switch."""
 
-    __slots__ = ("ports", "_routes", "buffer_bytes", "ecn_threshold_bytes", "unroutable_drops")
+    __slots__ = (
+        "ports",
+        "_routes",
+        "_routes_get",
+        "buffer_bytes",
+        "ecn_threshold_bytes",
+        "unroutable_drops",
+    )
 
     def __init__(
         self,
@@ -35,6 +42,8 @@ class Switch(Node):
         super().__init__(sim, name)
         self.ports: List[OutputPort] = []
         self._routes: Dict[int, OutputPort] = {}
+        # Bound once: the route lookup runs for every forwarded packet.
+        self._routes_get = self._routes.get
         self.buffer_bytes = buffer_bytes
         self.ecn_threshold_bytes = ecn_threshold_bytes
         self.unroutable_drops = 0
@@ -56,7 +65,7 @@ class Switch(Node):
         return self._routes.get(dst_node_id)
 
     def receive(self, packet: Packet) -> None:
-        port = self._routes.get(packet.dst)
+        port = self._routes_get(packet.dst)
         if port is None:
             # Mirrors a real switch's behaviour for an unknown unicast
             # destination with learning disabled: count and drop.

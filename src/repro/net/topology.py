@@ -92,9 +92,7 @@ class TwoTierTree:
         return [self.aggregator, *self.servers]
 
 
-def _attach_host(
-    sim: Simulator, switch: Switch, host: Host, params: TopologyParams
-) -> OutputPort:
+def _attach_host(sim: Simulator, switch: Switch, host: Host, params: TopologyParams) -> OutputPort:
     """Wire ``host`` to ``switch`` with a full-duplex cable; return the
     switch-side egress port toward the host."""
     up = Link(switch, params.link_rate_bps, params.prop_delay_ns)
@@ -124,9 +122,7 @@ def build_two_tier(sim: Simulator, params: Optional[TopologyParams] = None) -> T
     if params.n_leaf_switches < 1:
         raise ValueError("need at least one leaf switch")
 
-    root = Switch(
-        sim, "switch1", params.buffer_bytes, params.ecn_threshold_bytes
-    )
+    root = Switch(sim, "switch1", params.buffer_bytes, params.ecn_threshold_bytes)
     leaves = [
         Switch(sim, f"switch{i + 2}", params.buffer_bytes, params.ecn_threshold_bytes)
         for i in range(params.n_leaf_switches)

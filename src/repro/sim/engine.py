@@ -7,14 +7,18 @@ pumps events with :meth:`Simulator.run`.
 
 The engine is deliberately tiny — all protocol behaviour lives in the
 components — so the hot loop is a ``pop -> callback`` cycle with no
-dispatch indirection.
+dispatch indirection.  :meth:`Simulator.run` fuses the peek/pop scan of
+:class:`~repro.sim.events.EventQueue` into one loop over the raw heap with
+``heapq`` bound to locals, which removes two method calls and several
+attribute lookups per event.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush, heapreplace
 from typing import Callable, Optional
 
-from .events import Event, EventQueue
+from .events import FREELIST_MAX, Event, EventQueue, _noop
 from .rng import RngRegistry
 
 
@@ -31,7 +35,17 @@ class Simulator:
         Master seed for the per-component RNG registry.
     """
 
-    __slots__ = ("now", "queue", "rng", "_running", "events_processed", "_sequence")
+    __slots__ = (
+        "now",
+        "queue",
+        "rng",
+        "_running",
+        "events_processed",
+        "_sequence",
+        "_packet_seq",
+        "_push",
+        "_stop",
+    )
 
     def __init__(self, seed: int = 0):
         self.now: int = 0
@@ -40,6 +54,11 @@ class Simulator:
         self._running = False
         self.events_processed: int = 0
         self._sequence = 0
+        self._packet_seq = 0
+        # Bound once: scheduling happens for every packet hop, and the
+        # attribute chain + bound-method allocation is measurable there.
+        self._push = self.queue.push
+        self._stop = False
 
     def next_sequence(self) -> int:
         """Per-simulation monotonically increasing id.
@@ -52,25 +71,79 @@ class Simulator:
         self._sequence += 1
         return self._sequence
 
+    def next_packet_id(self) -> int:
+        """Per-simulation packet id (separate from :meth:`next_sequence` so
+        packet churn cannot perturb RNG stream naming).
+
+        Owning ids here — not in a process-global counter — makes packet
+        ids reproducible: two identical simulations emit identical id
+        streams no matter what ran before them in the process, which keeps
+        any id-derived artifact stable across serial and worker-pool runs.
+        """
+        self._packet_seq += 1
+        return self._packet_seq
+
     # -- scheduling -----------------------------------------------------------
     def schedule(self, delay: int, callback: Callable[..., None], *args) -> Event:
         """Run ``callback(*args)`` after ``delay`` ns of simulated time."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} ns in the past")
-        return self.queue.push(self.now + delay, callback, args)
+        # Mirrors EventQueue.push, inlined: this is called once per packet
+        # hop and the extra call frame is measurable at that rate.  Any
+        # change to the push protocol must be made in both places.
+        time = self.now + delay
+        queue = self.queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        free = queue._free
+        if free:
+            ev = free.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.deadline = time
+            ev._dseq = seq
+            ev.callback = callback
+            ev.args = args
+            ev.cancelled = False
+        else:
+            ev = Event(time, seq, callback, args)
+        queue._live += 1
+        heappush(queue._heap, (time, seq, ev))
+        return ev
 
     def at(self, time: int, callback: Callable[..., None], *args) -> Event:
         """Run ``callback(*args)`` at absolute simulated ``time``."""
         if time < self.now:
-            raise SimulationError(
-                f"cannot schedule at t={time} before current time t={self.now}"
-            )
-        return self.queue.push(time, callback, args)
+            raise SimulationError(f"cannot schedule at t={time} before current time t={self.now}")
+        return self._push(time, callback, args)
+
+    def reschedule(
+        self, event: Optional[Event], delay: int, callback: Callable[..., None], *args
+    ) -> Event:
+        """Re-arm a timer ``delay`` ns from now without heap churn.
+
+        Drop-in replacement for the ``cancel(); schedule()`` idiom (and
+        bit-for-bit equivalent to it, including event ordering): the
+        returned handle supersedes ``event``, which must not be used
+        afterwards.  ``None`` is accepted and behaves like ``schedule``.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ns in the past")
+        return self.queue.reschedule(event, self.now + delay, callback, args)
 
     def cancel(self, event: Optional[Event]) -> None:
         """Cancel an event handle (``None`` is accepted and ignored)."""
         if event is not None:
             self.queue.cancel(event)
+
+    def request_stop(self) -> None:
+        """Stop :meth:`run` after the currently executing event completes.
+
+        Called from inside event callbacks by workload drivers when their
+        completion condition is reached; cheaper than a per-event
+        ``stop_when`` predicate because the loop only tests a flag.
+        """
+        self._stop = True
 
     # -- execution -------------------------------------------------------------
     def run(
@@ -96,30 +169,69 @@ class Simulator:
         Returns the number of events processed in this call.
         """
         queue = self.queue
+        # The dispatch loop works on the queue's raw heap (same entry
+        # layout as EventQueue.pop) so each event costs one tuple unpack
+        # instead of two method calls; heapq functions and the freelist
+        # are bound to locals for the same reason.
+        heap = queue._heap
+        free = queue._free
+        free_append = free.append
         processed = 0
         self._running = True
+        self._stop = False
         try:
             while True:
                 if max_events is not None and processed >= max_events:
                     break
-                next_time = queue.peek_time()
-                if next_time is None:
+                ev = None
+                while heap:
+                    entry = heap[0]
+                    ev = entry[2]
+                    if ev.cancelled:
+                        heappop(heap)
+                        if len(free) < FREELIST_MAX:
+                            free_append(ev)
+                        ev = None
+                        continue
+                    deadline = ev.deadline
+                    ev_time = entry[0]
+                    if deadline > ev_time:
+                        # Stale slot from a reschedule: re-file at the
+                        # true deadline.
+                        ev.time = deadline
+                        ev.seq = ev._dseq
+                        heapreplace(heap, (deadline, ev._dseq, ev))
+                        ev = None
+                        continue
                     break
-                if until is not None and next_time > until:
+                if ev is None:
+                    break
+                if until is not None and ev_time > until:
                     self.now = until
                     break
-                ev = queue.pop()
-                if ev is None:  # pragma: no cover - peek said otherwise
-                    break
-                self.now = ev.time
+                heappop(heap)
+                ev.deadline = -1  # fired: no longer pending
+                queue._live -= 1
+                self.now = ev_time
                 ev.callback(*ev.args)
                 processed += 1
+                # Recycle the fired event.  Safe because handles are
+                # single-use: every component that stores one clears or
+                # overwrites its reference inside the callback (and
+                # cancel/reschedule on a fired handle are no-ops), so
+                # nothing can reach `ev` once its callback has run.
+                if len(free) < FREELIST_MAX:
+                    ev.callback = _noop
+                    ev.args = ()
+                    free_append(ev)
+                if self._stop:
+                    break
                 if stop_when is not None and stop_when():
                     break
         finally:
             self._running = False
             self.events_processed += processed
-        if until is not None and queue.peek_time() is None and self.now < until:
+        if until is not None and self.now < until and queue.peek_time() is None:
             self.now = until
         return processed
 

@@ -1,32 +1,55 @@
 """Event handles and the binary-heap event queue.
 
-The queue is the hottest data structure in the simulator, so it stays
-minimal: a ``heapq`` of ``Event`` objects ordered by ``(time, seq)``.
-Cancellation is *lazy* — a cancelled event stays in the heap and is skipped
-when popped — which keeps ``cancel()`` O(1) and avoids heap surgery. Timer
-churn in TCP (every ACK restarts the retransmission timer) makes cheap
-cancellation essential.
+The queue is the hottest data structure in the simulator, so it is built
+for throughput:
+
+- Heap entries are ``(time, seq, event)`` **tuples**, so ``heapq`` orders
+  them with C tuple comparison on the two integers and never calls back
+  into Python (``seq`` is unique, so the ``Event`` itself is never
+  compared).
+- Cancellation is *lazy* — a cancelled event stays in the heap and is
+  skipped when popped — which keeps ``cancel()`` O(1) and avoids heap
+  surgery.  Skipped carcasses go to a bounded **freelist** and are
+  recycled by the next ``push`` instead of becoming garbage.
+- :meth:`EventQueue.reschedule` moves a pending event to a *later* time
+  without touching the heap at all: it records the new deadline on the
+  handle, and when the stale heap entry surfaces the event is re-filed at
+  its true deadline.  Timer churn in TCP (every ACK restarts the
+  retransmission timer, and the new deadline is almost always later)
+  makes this the difference between O(ACKs) and O(expiries) heap traffic.
+
+The reschedule path consumes exactly one sequence number per call — the
+same as the historical ``cancel(); push()`` idiom — and the deferred
+re-file reuses that number, so event ordering (including FIFO ties at
+one timestamp) is bit-for-bit identical to the naive implementation.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
+
+#: Recycled-event pool cap; enough to absorb timer churn bursts without
+#: pinning memory after a large simulation drains.
+FREELIST_MAX = 4096
 
 
 class Event:
     """A scheduled callback.
 
-    Events are ordered by ``(time, seq)``; ``seq`` is a monotonically
-    increasing tie-breaker, so two events at the same timestamp fire in the
-    order they were scheduled (deterministic FIFO within a timestamp).
+    ``time``/``seq`` mirror the heap entry currently filing this event;
+    ``deadline`` is the authoritative fire time (later than ``time`` when a
+    reschedule deferred the event), and ``deadline`` < 0 means the event is
+    no longer pending (already fired, or cancelled).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "deadline", "_dseq", "callback", "args", "cancelled")
 
     def __init__(self, time: int, seq: int, callback: Callable[..., None], args: tuple):
         self.time = time
         self.seq = seq
+        self.deadline = time
+        self._dseq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
@@ -34,6 +57,7 @@ class Event:
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when popped."""
         self.cancelled = True
+        self.deadline = -1
         # Drop references eagerly so cancelled timers don't pin senders,
         # packets, etc. in memory while they wait to be popped.
         self.callback = _noop
@@ -53,15 +77,25 @@ def _noop(*_args: Any) -> None:
     """Placeholder callback installed when an event is cancelled."""
 
 
-class EventQueue:
-    """Binary-heap priority queue of :class:`Event` with lazy cancellation."""
+#: One heap entry: ``(time, seq, event)``.
+Entry = Tuple[int, int, Event]
 
-    __slots__ = ("_heap", "_seq", "_live")
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`Event` with lazy cancellation.
+
+    ``_heap``/``_free`` are accessed directly by the fused dispatch loop in
+    :meth:`repro.sim.engine.Simulator.run`; any change to the entry layout
+    must be mirrored there.
+    """
+
+    __slots__ = ("_heap", "_seq", "_live", "_free")
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[Entry] = []
         self._seq = 0
         self._live = 0
+        self._free: List[Event] = []
 
     def __len__(self) -> int:
         """Number of *live* (non-cancelled) events."""
@@ -69,15 +103,57 @@ class EventQueue:
 
     def push(self, time: int, callback: Callable[..., None], args: tuple = ()) -> Event:
         """Schedule ``callback(*args)`` at ``time``; returns a cancellable handle."""
-        ev = Event(time, self._seq, callback, args)
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            ev = free.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.deadline = time
+            ev._dseq = seq
+            ev.callback = callback
+            ev.args = args
+            ev.cancelled = False
+        else:
+            ev = Event(time, seq, callback, args)
         self._live += 1
-        heapq.heappush(self._heap, ev)
+        heapq.heappush(self._heap, (time, seq, ev))
         return ev
 
+    def reschedule(
+        self,
+        event: Optional[Event],
+        time: int,
+        callback: Callable[..., None],
+        args: tuple = (),
+    ) -> Event:
+        """Move a timer to ``time``, recycling its heap entry when possible.
+
+        Equivalent to ``cancel(event); push(time, ...)`` but with zero heap
+        traffic in the common case (``event`` still pending and the new
+        deadline not earlier than its current heap slot).  Always returns
+        the live handle, which may or may not be ``event`` itself.
+        """
+        if (
+            event is not None
+            and not event.cancelled
+            and event.deadline >= 0
+            and event.time <= time
+        ):
+            event.deadline = time
+            event._dseq = self._seq
+            self._seq += 1
+            event.callback = callback
+            event.args = args
+            return event
+        if event is not None:
+            self.cancel(event)
+        return self.push(time, callback, args)
+
     def cancel(self, event: Event) -> None:
-        """Cancel a previously pushed event (idempotent)."""
-        if not event.cancelled:
+        """Cancel a previously pushed event (idempotent; fired events no-op)."""
+        if not event.cancelled and event.deadline >= 0:
             event.cancel()
             self._live -= 1
 
@@ -87,21 +163,49 @@ class EventQueue:
         Returns ``None`` when the queue holds no live events.
         """
         heap = self._heap
+        free = self._free
         while heap:
-            ev = heapq.heappop(heap)
-            if not ev.cancelled:
-                self._live -= 1
-                return ev
+            time, _seq, ev = heap[0]
+            if ev.cancelled:
+                heapq.heappop(heap)
+                if len(free) < FREELIST_MAX:
+                    free.append(ev)
+                continue
+            deadline = ev.deadline
+            if deadline > time:
+                # Stale slot from a reschedule: re-file at the true deadline.
+                ev.time = deadline
+                ev.seq = ev._dseq
+                heapq.heapreplace(heap, (deadline, ev._dseq, ev))
+                continue
+            heapq.heappop(heap)
+            ev.deadline = -1  # fired: no longer pending
+            self._live -= 1
+            return ev
         return None
 
     def peek_time(self) -> Optional[int]:
         """Timestamp of the earliest live event, or ``None`` if empty."""
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
-        return heap[0].time if heap else None
+        free = self._free
+        while heap:
+            time, _seq, ev = heap[0]
+            if ev.cancelled:
+                heapq.heappop(heap)
+                if len(free) < FREELIST_MAX:
+                    free.append(ev)
+                continue
+            deadline = ev.deadline
+            if deadline > time:
+                ev.time = deadline
+                ev.seq = ev._dseq
+                heapq.heapreplace(heap, (deadline, ev._dseq, ev))
+                continue
+            return time
+        return None
 
     def clear(self) -> None:
         """Drop all events."""
         self._heap.clear()
+        self._free.clear()
         self._live = 0

@@ -69,9 +69,7 @@ class _DeadlineMixin:
         """Whether the flow finished (or now stands) past its deadline."""
         if self.deadline_ns is None:
             return False
-        reference = (
-            self.stats.completion_time_ns if self.completed else self.sim.now
-        )
+        reference = self.stats.completion_time_ns if self.completed else self.sim.now
         return reference > self.deadline_ns
 
     def _current_d(self) -> float:

@@ -66,9 +66,7 @@ class DelayedAckReceiver(TcpReceiver):
             raise ValueError(f"ack_every must be >= 1, got {ack_every}")
         if delack_timeout_ns <= 0:
             raise ValueError("delayed-ACK timeout must be positive")
-        super().__init__(
-            sim, host, peer_node_id, flow_id, expected_bytes, on_data, on_complete
-        )
+        super().__init__(sim, host, peer_node_id, flow_id, expected_bytes, on_data, on_complete)
         self.ack_every = ack_every
         self.delack_timeout_ns = delack_timeout_ns
         self._pending_segments = 0
@@ -99,9 +97,7 @@ class DelayedAckReceiver(TcpReceiver):
         if self._pending_segments >= self.ack_every:
             self._flush_pending()
         elif self._delack_event is None:
-            self._delack_event = self.sim.schedule(
-                self.delack_timeout_ns, self._on_delack_timer
-            )
+            self._delack_event = self.sim.schedule(self.delack_timeout_ns, self._on_delack_timer)
 
     def _flush_pending(self, ack_seq: Optional[int] = None) -> None:
         if self._delack_event is not None:

@@ -160,6 +160,7 @@ class TcpReceiver:
             self.peer_node_id,
             self.rcv_nxt if ack_seq is None else ack_seq,
             ece=ece,
+            packet_id=self.sim.next_packet_id(),
         )
         self.host.send(ack)
 

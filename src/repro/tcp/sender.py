@@ -71,9 +71,7 @@ class TcpSender:
         self.recover = 0
         self._ca_bytes_acked = 0.0  # Linux-style snd_cwnd_cnt analogue
 
-        self.rtt = RttEstimator(
-            cfg.rto_min_ns, cfg.rto_max_ns, cfg.rto_initial_ns, cfg.seed_rtt_ns
-        )
+        self.rtt = RttEstimator(cfg.rto_min_ns, cfg.rto_max_ns, cfg.rto_initial_ns, cfg.seed_rtt_ns)
         self.rto_backoff = 0
         self._rto_event = None
         self._acks_since_timer_armed = 0
@@ -221,6 +219,7 @@ class TcpSender:
             length,
             ect=cfg.ecn_enabled,
             is_retransmit=is_retransmit,
+            packet_id=self.sim.next_packet_id(),
         )
         packet.sent_time = now
         if is_retransmit:
@@ -363,9 +362,10 @@ class TcpSender:
 
     # ----------------------------------------------------------------- RTO timer
     def _arm_timer(self) -> None:
-        self.sim.cancel(self._rto_event)
+        # Re-armed on every ACK; reschedule-in-place keeps this O(1) with no
+        # heap traffic instead of pushing a fresh entry per ACK.
         duration = self.rtt.backed_off_rto_ns(self.rto_backoff)
-        self._rto_event = self.sim.schedule(duration, self._on_rto)
+        self._rto_event = self.sim.reschedule(self._rto_event, duration, self._on_rto)
         self._acks_since_timer_armed = 0
 
     def _stop_timer(self) -> None:

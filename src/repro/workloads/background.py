@@ -14,7 +14,7 @@ buffer non-empty: whenever the unsent backlog drops below one chunk, the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..net.topology import TwoTierTree
@@ -78,9 +78,7 @@ class BackgroundTraffic:
         self.spec = spec
         self.config = config or BackgroundConfig()
         if spec.tcp_config.seed_rtt_ns is None:
-            spec.tcp_config = spec.tcp_config.with_overrides(
-                seed_rtt_ns=tree.baseline_rtt_ns()
-            )
+            spec.tcp_config = spec.tcp_config.with_overrides(seed_rtt_ns=tree.baseline_rtt_ns())
         if server_indices is None:
             n = self.config.n_flows
             server_indices = [len(tree.servers) - 1 - i for i in range(n)]
@@ -108,9 +106,7 @@ class BackgroundTraffic:
                 expected_bytes=None,
                 on_data=self._make_on_data(idx),
             )
-            sender = self.spec.make_sender(
-                self.sim, server, self.tree.aggregator.node_id, flow_id
-            )
+            sender = self.spec.make_sender(self.sim, server, self.tree.aggregator.node_id, flow_id)
             self.senders.append(sender)
             self.receivers.append(receiver)
             self._interval_start_ns.append(self.sim.now)
@@ -164,11 +160,7 @@ class BackgroundTraffic:
     # -- views ------------------------------------------------------------------
     def mean_throughput_bps(self, flow_index: Optional[int] = None) -> float:
         """Average long-flow throughput (per flow, or across all)."""
-        samples = [
-            s
-            for s in self.samples
-            if flow_index is None or s.flow_index == flow_index
-        ]
+        samples = [s for s in self.samples if flow_index is None or s.flow_index == flow_index]
         if not samples:
             # Fall back to lifetime average from receiver byte counts.
             total = 0.0

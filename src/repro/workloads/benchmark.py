@@ -24,9 +24,8 @@ micro-incast: DCTCP takes ~one 10 ms RTO per query on average (mean FCT
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from ..metrics.stats import Summary
 from ..net.host import Host
@@ -134,9 +133,7 @@ class _QueryEngine:
                 expected_bytes=None,
                 on_data=self._make_on_data(i),
             )
-            sender = workload.spec.make_sender(
-                sim, server, tree.aggregator.node_id, flow_id
-            )
+            sender = workload.spec.make_sender(sim, server, tree.aggregator.node_id, flow_id)
             self.senders.append(sender)
             self.receivers.append(receiver)
             self.delivered.append(0)
@@ -211,9 +208,7 @@ class BenchmarkWorkload:
         self.spec = spec
         self.config = config or BenchmarkConfig()
         if spec.tcp_config.seed_rtt_ns is None:
-            spec.tcp_config = spec.tcp_config.with_overrides(
-                seed_rtt_ns=tree.baseline_rtt_ns()
-            )
+            spec.tcp_config = spec.tcp_config.with_overrides(seed_rtt_ns=tree.baseline_rtt_ns())
         self.records: List[FlowRecord] = []
         self.finished = False
         self._queries_left = self.config.n_queries
@@ -254,7 +249,8 @@ class BenchmarkWorkload:
     def run_to_completion(self, max_events: Optional[int] = None) -> None:
         if not self._started:
             self.start()
-        self.sim.run(max_events=max_events, stop_when=lambda: self.finished)
+        if not self.finished:
+            self.sim.run(max_events=max_events)
 
     def close(self) -> None:
         if self.query_engine is not None:
@@ -292,9 +288,7 @@ class BenchmarkWorkload:
         size = sample_flow_size_bytes(self._rng_short, self.config.short_size_cdf)
         self._launch_point_flow("short", size, self._rng_short)
         if self._short_left > 0:
-            gap = max(
-                1, int(self.config.background_interarrival_cdf.sample(self._rng_short))
-            )
+            gap = max(1, int(self.config.background_interarrival_cdf.sample(self._rng_short)))
             self.sim.schedule(gap, self._next_short)
 
     # -- point-to-point flows ------------------------------------------------------
@@ -317,9 +311,7 @@ class BenchmarkWorkload:
         def _on_complete(receiver: TcpReceiver) -> None:
             sender: TcpSender = state["sender"]  # type: ignore[assignment]
             self._record(
-                FlowRecord(
-                    category, start_ns, self.sim.now, size, sender.stats.timeout_count
-                )
+                FlowRecord(category, start_ns, self.sim.now, size, sender.stats.timeout_count)
             )
             sender.close()
             receiver.close()
@@ -353,6 +345,9 @@ class BenchmarkWorkload:
             and self._open_flows == 0
         ):
             self.finished = True
+            # Engine-level stop flag instead of a per-event stop_when
+            # predicate (run_to_completion guards the already-finished case).
+            self.sim.request_stop()
 
     # -- views --------------------------------------------------------------------------
     def fct_summary_ms(self, category: str) -> Summary:

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 import random
 from bisect import bisect_right
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..sim.units import KB, MB, MS
 

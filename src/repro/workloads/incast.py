@@ -136,9 +136,7 @@ class IncastWorkload:
         # Seed the RTT estimator as a persistent connection would be (the
         # connection's handshake and first rounds have measured the path).
         if spec.tcp_config.seed_rtt_ns is None:
-            spec.tcp_config = spec.tcp_config.with_overrides(
-                seed_rtt_ns=tree.baseline_rtt_ns()
-            )
+            spec.tcp_config = spec.tcp_config.with_overrides(seed_rtt_ns=tree.baseline_rtt_ns())
         self._round_index = 0
         self.senders: List[TcpSender] = []
         self.receivers: List[TcpReceiver] = []
@@ -208,7 +206,8 @@ class IncastWorkload:
         """Start (if needed) and pump the simulator until all rounds end."""
         if not self._started:
             self.start()
-        self.sim.run(max_events=max_events, stop_when=lambda: self.finished)
+        if not self.finished:
+            self.sim.run(max_events=max_events)
 
     def close(self) -> None:
         """Tear down all endpoints (end of the experiment)."""
@@ -229,9 +228,7 @@ class IncastWorkload:
         self._pending = cfg.n_flows
         self._missed_this_round = 0
         self._bytes_at_round_start = sum(r.bytes_delivered for r in self.receivers)
-        self._timeouts_at_round_start = sum(
-            s.stats.timeout_count for s in self.senders
-        )
+        self._timeouts_at_round_start = sum(s.stats.timeout_count for s in self.senders)
         if cfg.flow_deadline_ns is not None:
             absolute = sim.now + cfg.flow_deadline_ns
             for sender in self.senders:
@@ -247,6 +244,7 @@ class IncastWorkload:
                 tree.aggregator.node_id,
                 server.node_id,
                 wire_bytes=cfg.request_bytes,
+                packet_id=sim.next_packet_id(),
             )
             if cfg.request_spacing_ns > 0:
                 sim.schedule(i * cfg.request_spacing_ns, tree.aggregator.send, request)
@@ -294,6 +292,9 @@ class IncastWorkload:
         self._round_index += 1
         if self._round_index >= self.config.n_rounds:
             self.finished = True
+            # Stop the pump via the engine flag rather than a per-event
+            # stop_when predicate; the loop exits after this callback.
+            sim.request_stop()
         else:
             sim.schedule(0, self._begin_round)
 

@@ -27,9 +27,7 @@ def single_flow(
 ) -> Tuple[Simulator, TwoTierTree, TcpSender, TcpReceiver]:
     """One sender -> one receiver through a single switch (dumbbell)."""
     sim = Simulator(seed=seed)
-    params = TopologyParams(
-        buffer_bytes=buffer_bytes, ecn_threshold_bytes=ecn_threshold
-    )
+    params = TopologyParams(buffer_bytes=buffer_bytes, ecn_threshold_bytes=ecn_threshold)
     tree = build_dumbbell(sim, n_senders=n_senders, params=params)
     flow_id = next_flow_id()
     receiver = TcpReceiver(

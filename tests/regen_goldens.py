@@ -1,0 +1,36 @@
+"""Regenerate ``tests/golden/digests.json`` from the current code.
+
+Run only when a behaviour change is intentional::
+
+    PYTHONPATH=src python tests/regen_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from golden_specs import TINY_KWARGS, digest_experiment  # noqa: E402
+
+
+def main() -> None:
+    digests = {}
+    for experiment_id in TINY_KWARGS:
+        started = time.perf_counter()
+        digests[experiment_id] = digest_experiment(experiment_id)
+        print(
+            f"{experiment_id}: {digests[experiment_id][:16]}... "
+            f"({time.perf_counter() - started:.1f}s)"
+        )
+    out = Path(__file__).parent / "golden" / "digests.json"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps(digests, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

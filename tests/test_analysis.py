@@ -13,9 +13,7 @@ from repro.analysis import (
 from repro.sim.units import GBPS, KB, MB, MS, US
 
 #: the paper's testbed path
-PAPER_PATH = PathModel(
-    link_rate_bps=GBPS, base_rtt_ns=100 * US, buffer_bytes=128 * KB
-)
+PAPER_PATH = PathModel(link_rate_bps=GBPS, base_rtt_ns=100 * US, buffer_bytes=128 * KB)
 
 
 class TestPipelineCapacity:
@@ -62,9 +60,7 @@ class TestCollapseFanin:
         def goodput(n):
             sim = Simulator(seed=42)
             tree = build_two_tier(sim)
-            wl = IncastWorkload(
-                sim, tree, spec_for("dctcp"), IncastConfig(n_flows=n, n_rounds=6)
-            )
+            wl = IncastWorkload(sim, tree, spec_for("dctcp"), IncastConfig(n_flows=n, n_rounds=6))
             wl.run_to_completion(max_events=80_000_000)
             return wl.mean_goodput_bps
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.net.topology import build_two_tier
 from repro.sim.engine import Simulator
-from repro.sim.units import MS, SEC
+from repro.sim.units import MS
 from repro.workloads.background import BackgroundConfig, BackgroundTraffic, ThroughputSample
 from repro.workloads.protocols import spec_for
 
@@ -67,9 +67,7 @@ class TestSaturation:
 
 class TestThroughputReporting:
     def test_interval_samples_emitted(self):
-        sim, tree, bg = run_background(
-            duration_ns=80 * MS, report_interval_bytes=1_000_000
-        )
+        sim, tree, bg = run_background(duration_ns=80 * MS, report_interval_bytes=1_000_000)
         assert len(bg.samples) >= 2
         for sample in bg.samples:
             assert sample.throughput_bps > 0
@@ -85,9 +83,7 @@ class TestThroughputReporting:
         assert bg.mean_throughput_bps() > 0
 
     def test_per_flow_filter(self):
-        sim, tree, bg = run_background(
-            duration_ns=80 * MS, report_interval_bytes=1_000_000
-        )
+        sim, tree, bg = run_background(duration_ns=80 * MS, report_interval_bytes=1_000_000)
         all_flows = bg.mean_throughput_bps()
         flow0 = bg.mean_throughput_bps(flow_index=0)
         assert all_flows > 0 and flow0 > 0

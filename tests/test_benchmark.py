@@ -108,7 +108,12 @@ class TestSummaries:
     def test_start_twice_rejected(self):
         sim = Simulator(seed=1)
         tree = build_two_tier(sim)
-        wl = BenchmarkWorkload(sim, tree, spec_for("dctcp"), BenchmarkConfig(n_queries=1, n_background=0, n_short_messages=0, query_fanout=2))
+        wl = BenchmarkWorkload(
+            sim,
+            tree,
+            spec_for("dctcp"),
+            BenchmarkConfig(n_queries=1, n_background=0, n_short_messages=0, query_fanout=2),
+        )
         wl.start()
         with pytest.raises(RuntimeError):
             wl.start()

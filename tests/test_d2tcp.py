@@ -89,9 +89,7 @@ class TestPlusVariant:
         sim, s = harness(cls=D2tcpPlusSender)
         s.cwnd = s.config.min_cwnd_bytes
         s.ssthresh = s.config.min_cwnd_bytes
-        s.on_packet(
-            make_ack_packet(s.flow_id, s.dst_node_id, s.host.node_id, MSS, ece=True)
-        )
+        s.on_packet(make_ack_packet(s.flow_id, s.dst_node_id, s.host.node_id, MSS, ece=True))
         assert s.slow_time_ns > 0
 
 
@@ -110,9 +108,7 @@ class TestWorkloadIntegration:
     def test_generous_deadline_no_misses(self):
         sim = Simulator(seed=1)
         tree = build_two_tier(sim)
-        config = IncastConfig(
-            n_flows=4, n_rounds=2, flow_deadline_ns=10_000 * MS
-        )
+        config = IncastConfig(n_flows=4, n_rounds=2, flow_deadline_ns=10_000 * MS)
         wl = IncastWorkload(sim, tree, spec_for("d2tcp"), config)
         wl.run_to_completion(max_events=20_000_000)
         assert wl.total_missed_deadlines == 0

@@ -31,9 +31,7 @@ def harness(total=40 * MSS, plus=None, **cfg_overrides):
 
 def ack(sender, ack_seq, ece=False):
     sender.on_packet(
-        make_ack_packet(
-            sender.flow_id, sender.dst_node_id, sender.host.node_id, ack_seq, ece=ece
-        )
+        make_ack_packet(sender.flow_id, sender.dst_node_id, sender.host.node_id, ack_seq, ece=ece)
     )
 
 

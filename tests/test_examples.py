@@ -40,9 +40,7 @@ class TestExamples:
         assert "long-flow Mbps" in out
 
     def test_deadline_flows(self, capsys):
-        run_example(
-            "deadline_flows.py", ["--flows", "6", "--rounds", "2", "--deadline-ms", "100"]
-        )
+        run_example("deadline_flows.py", ["--flows", "6", "--rounds", "2", "--deadline-ms", "100"])
         out = capsys.readouterr().out
         assert "miss rate" in out
 

@@ -169,9 +169,7 @@ class TestPointResult:
         a, b = SerialExecutor().map(TINY_BATCH[:2])
         merged = PointResult.aggregate([a, b])
         assert merged.seeds == (1, 2)
-        assert merged.goodput_mbps == pytest.approx(
-            (a.goodput_mbps + b.goodput_mbps) / 2
-        )
+        assert merged.goodput_mbps == pytest.approx((a.goodput_mbps + b.goodput_mbps) / 2)
         assert merged.timeouts == a.timeouts + b.timeouts
         assert merged.rounds == a.rounds + b.rounds
         assert len(merged.flow_stats) == len(a.flow_stats) + len(b.flow_stats)

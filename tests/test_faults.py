@@ -5,7 +5,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.net.faults import FaultyLink, drop_data_once, drop_nth, make_lossy, never, random_loss
+from repro.net.faults import drop_data_once, drop_nth, make_lossy, never, random_loss
 from repro.net.link import Link
 from repro.net.topology import build_dumbbell
 from repro.sim.engine import Simulator
@@ -166,7 +166,5 @@ class TestLimitedTransmit:
         from repro.net.packet import make_ack_packet
 
         for _ in range(2):  # two dupACKs -> at most two extra segments
-            sender.on_packet(
-                make_ack_packet(flow, sender.dst_node_id, sender.host.node_id, 0)
-            )
+            sender.on_packet(make_ack_packet(flow, sender.dst_node_id, sender.host.node_id, 0))
         assert sender.snd_nxt <= sent_before + 2 * MSS

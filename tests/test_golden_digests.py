@@ -1,0 +1,62 @@
+"""Golden determinism digests for every registry experiment.
+
+Every experiment in the registry is run at tiny scale (see
+``tests/golden_specs.py``) and the SHA-256 of its ``ExperimentResult``
+JSON is compared against the committed ``tests/golden/digests.json``.
+These digests were generated from the pre-optimization engine, so they
+prove that hot-path work (timer rescheduling, event recycling, fused
+dispatch, per-simulator packet ids) is *semantically invisible*: same
+inputs, byte-identical outputs.
+
+A second pass pins executor equivalence: a two-worker process pool must
+produce the exact digest the serial path does, i.e. results cannot depend
+on which process ran a point or in what order.
+
+On an intentional behaviour change, regenerate with::
+
+    PYTHONPATH=src python tests/regen_goldens.py
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.exec.context import using_executor
+from repro.exec.executors import ParallelExecutor
+from repro.experiments.registry import experiment_ids, get_runner
+
+from .golden_specs import TINY_KWARGS, digest_experiment
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "digests.json")
+
+
+def _committed_digests():
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def test_every_registry_experiment_has_a_golden_entry():
+    committed = _committed_digests()
+    assert sorted(committed) == sorted(experiment_ids())
+    assert sorted(TINY_KWARGS) == sorted(experiment_ids())
+
+
+@pytest.mark.parametrize("experiment_id", sorted(TINY_KWARGS))
+def test_golden_digest(experiment_id):
+    committed = _committed_digests()
+    assert digest_experiment(experiment_id) == committed[experiment_id], (
+        f"{experiment_id}: simulation output changed.  If intentional, "
+        "regenerate with `PYTHONPATH=src python tests/regen_goldens.py`."
+    )
+
+
+def test_two_worker_pool_matches_serial_digest():
+    """``--workers 2`` must be bit-for-bit identical to the serial path."""
+    experiment_id = "fig1"
+    runner = get_runner(experiment_id)
+    with using_executor(ParallelExecutor(2)):
+        result = runner(**TINY_KWARGS[experiment_id])
+    digest = hashlib.sha256(result.to_json().encode()).hexdigest()
+    assert digest == _committed_digests()[experiment_id]

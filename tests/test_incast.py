@@ -83,9 +83,7 @@ class TestPersistence:
     def test_flows_spread_round_robin(self):
         sim = Simulator(seed=1)
         tree = build_two_tier(sim)
-        wl = IncastWorkload(
-            sim, tree, spec_for("dctcp"), IncastConfig(n_flows=12, n_rounds=1)
-        )
+        wl = IncastWorkload(sim, tree, spec_for("dctcp"), IncastConfig(n_flows=12, n_rounds=1))
         hosts = [s.host for s in wl.senders]
         assert hosts[0] is tree.servers[0]
         assert hosts[9] is tree.servers[0]  # wraps after 9 servers
@@ -111,9 +109,7 @@ class TestDeadline:
         sim = Simulator(seed=1)
         tree = build_two_tier(sim)
         # 1-byte-per-flow rounds with an absurdly short deadline
-        config = IncastConfig(
-            n_flows=2, n_rounds=1, round_deadline_ns=1000
-        )
+        config = IncastConfig(n_flows=2, n_rounds=1, round_deadline_ns=1000)
         wl = IncastWorkload(sim, tree, spec_for("dctcp"), config)
         wl.run_to_completion(max_events=10_000_000)
         assert len(wl.rounds) == 1
@@ -147,9 +143,7 @@ class TestJitter:
     def test_start_jitter_spreads_starts(self):
         sim = Simulator(seed=1)
         tree = build_two_tier(sim)
-        config = IncastConfig(
-            n_flows=6, n_rounds=1, request_spacing_ns=0, start_jitter_ns=2 * MS
-        )
+        config = IncastConfig(n_flows=6, n_rounds=1, request_spacing_ns=0, start_jitter_ns=2 * MS)
         wl = IncastWorkload(sim, tree, spec_for("dctcp"), config)
         wl.run_to_completion(max_events=10_000_000)
         starts = [s.stats.start_time_ns for s in wl.senders]

@@ -1,7 +1,6 @@
 """End-to-end integration tests: the paper's headline behaviours and
 network-wide conservation invariants."""
 
-import pytest
 
 from repro.net.topology import build_two_tier
 from repro.sim.engine import Simulator
@@ -126,9 +125,7 @@ class TestQueueBehaviour:
             tree = build_two_tier(sim)
             sampler = QueueSampler(sim, tree.bottleneck_port)
             sampler.start()
-            wl = IncastWorkload(
-                sim, tree, spec_for(protocol), IncastConfig(n_flows=50, n_rounds=6)
-            )
+            wl = IncastWorkload(sim, tree, spec_for(protocol), IncastConfig(n_flows=50, n_rounds=6))
             wl.run_to_completion(max_events=100_000_000)
             sampler.stop()
             peaks[protocol] = sampler.percentile_bytes(99.9)

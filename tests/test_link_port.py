@@ -78,10 +78,7 @@ class TestOutputPort:
         sim = Simulator()
         sink = Sink(sim)
         port = make_port(sim, sink)
-        pkts = [
-            make_data_packet(1, 0, sink.node_id, seq=i, payload_len=100)
-            for i in range(10)
-        ]
+        pkts = [make_data_packet(1, 0, sink.node_id, seq=i, payload_len=100) for i in range(10)]
         for p in pkts:
             port.send(p)
         sim.run_until_idle()
@@ -107,9 +104,7 @@ class TestOutputPort:
         # second occupies the whole buffer, third is tail-dropped
         assert port.send(make_data_packet(1, 0, sink.node_id, seq=0, payload_len=1460))
         assert port.send(make_data_packet(1, 0, sink.node_id, seq=1, payload_len=1460))
-        assert not port.send(
-            make_data_packet(1, 0, sink.node_id, seq=2, payload_len=1460)
-        )
+        assert not port.send(make_data_packet(1, 0, sink.node_id, seq=2, payload_len=1460))
 
     def test_backlog_excludes_in_flight_frame(self):
         sim = Simulator()

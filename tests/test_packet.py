@@ -29,10 +29,51 @@ class TestDataPacket:
         pkt = make_data_packet(1, 0, 1, seq=0, payload_len=1, is_retransmit=True)
         assert pkt.is_retransmit
 
-    def test_unique_ids(self):
-        a = make_data_packet(1, 0, 1, seq=0, payload_len=1)
-        b = make_data_packet(1, 0, 1, seq=0, payload_len=1)
+    def test_ids_come_from_the_owning_simulator(self):
+        from repro.net.packet import UNASSIGNED_PACKET_ID
+        from repro.sim.engine import Simulator
+
+        # Without a simulator-assigned id, packets are explicitly unassigned
+        # (there is no hidden process-global counter behind them).
+        bare = make_data_packet(1, 0, 1, seq=0, payload_len=1)
+        assert bare.packet_id == UNASSIGNED_PACKET_ID
+
+        sim = Simulator(seed=1)
+        a = make_data_packet(1, 0, 1, seq=0, payload_len=1, packet_id=sim.next_packet_id())
+        b = make_data_packet(1, 0, 1, seq=0, payload_len=1, packet_id=sim.next_packet_id())
         assert a.packet_id != b.packet_id
+
+    def test_back_to_back_simulations_emit_identical_id_streams(self):
+        """Packet ids are per-simulator state: two identical simulations in
+        one process observe the same ids packet-for-packet (there is no
+        process-global counter for the first run to advance)."""
+        from repro.net.faults import make_lossy
+        from repro.net.topology import build_two_tier
+        from repro.workloads.incast import IncastConfig, IncastWorkload
+        from repro.workloads.protocols import spec_for
+
+        def run_once():
+            from repro.sim.engine import Simulator
+
+            sim = Simulator(seed=3)
+            tree = build_two_tier(sim)
+            seen = []
+
+            def record(packet, index):
+                seen.append(packet.packet_id)
+                return False  # never drop; the policy is a tap
+
+            port = tree.bottleneck_port
+            port.link = make_lossy(port.link, record)
+            wl = IncastWorkload(sim, tree, spec_for("dctcp"), IncastConfig(n_flows=4, n_rounds=2))
+            wl.run_to_completion(max_events=5_000_000)
+            wl.close()
+            return seen
+
+        first = run_once()
+        second = run_once()
+        assert len(first) > 100
+        assert first == second
 
 
 class TestAckPacket:

@@ -20,9 +20,7 @@ class TestIncastMatrix:
     def test_small_incast_completes(self, protocol):
         sim = Simulator(seed=3)
         tree = build_two_tier(sim)
-        wl = IncastWorkload(
-            sim, tree, spec_for(protocol), IncastConfig(n_flows=6, n_rounds=2)
-        )
+        wl = IncastWorkload(sim, tree, spec_for(protocol), IncastConfig(n_flows=6, n_rounds=2))
         wl.run_to_completion(max_events=40_000_000)
         assert wl.finished
         assert all(r.completed for r in wl.rounds)
@@ -32,9 +30,7 @@ class TestIncastMatrix:
     def test_single_flow_degenerate_case(self, protocol):
         sim = Simulator(seed=3)
         tree = build_two_tier(sim)
-        wl = IncastWorkload(
-            sim, tree, spec_for(protocol), IncastConfig(n_flows=1, n_rounds=1)
-        )
+        wl = IncastWorkload(sim, tree, spec_for(protocol), IncastConfig(n_flows=1, n_rounds=1))
         wl.run_to_completion(max_events=20_000_000)
         assert wl.finished
         # one flow over a clean path: near line rate, no timeouts

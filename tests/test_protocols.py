@@ -8,7 +8,7 @@ from repro.sim.engine import Simulator
 from repro.tcp.dctcp import DctcpSender
 from repro.tcp.sender import TcpSender
 from repro.workloads.ids import next_flow_id
-from repro.workloads.protocols import PROTOCOLS, ProtocolSpec, spec_for
+from repro.workloads.protocols import PROTOCOLS, spec_for
 
 
 class TestSpec:

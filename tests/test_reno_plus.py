@@ -18,9 +18,7 @@ def harness(total=40 * MSS):
     sim = Simulator()
     tree = build_dumbbell(sim, n_senders=1)
     cfg = TcpConfig(seed_rtt_ns=100 * US, rto_min_ns=5 * MS)
-    s = RenoPlusSender(
-        sim, tree.servers[0], tree.aggregator.node_id, next_flow_id(), config=cfg
-    )
+    s = RenoPlusSender(sim, tree.servers[0], tree.aggregator.node_id, next_flow_id(), config=cfg)
     s.send(total)
     sim.run(until=1)
     return sim, s
@@ -58,18 +56,14 @@ class TestLossChannelDrive:
         sim, s = harness()
         sim.run(until=sim.now + 6 * MS)  # one RTO
         level = s.slow_time_ns
-        s.on_packet(
-            make_ack_packet(s.flow_id, s.dst_node_id, s.host.node_id, s.snd_una + MSS)
-        )
+        s.on_packet(make_ack_packet(s.flow_id, s.dst_node_id, s.host.node_id, s.snd_una + MSS))
         assert s.slow_time_ns > level
 
     def test_post_recovery_clean_acks_relax(self):
         sim, s = harness()
         high_water = s.snd_nxt
         sim.run(until=sim.now + 6 * MS)
-        s.on_packet(
-            make_ack_packet(s.flow_id, s.dst_node_id, s.host.node_id, high_water)
-        )
+        s.on_packet(make_ack_packet(s.flow_id, s.dst_node_id, s.host.node_id, high_water))
         assert not s.in_rto_recovery
         # let the sender push new data past the old high-water mark (the
         # pacer defers it by slow_time, so give it a few milliseconds),
@@ -90,9 +84,7 @@ class TestWorkload:
         for protocol in ("tcp", "tcp+"):
             sim = Simulator(seed=42)
             tree = __import__("repro.net.topology", fromlist=["build_two_tier"]).build_two_tier(sim)
-            wl = IncastWorkload(
-                sim, tree, spec_for(protocol), IncastConfig(n_flows=30, n_rounds=8)
-            )
+            wl = IncastWorkload(sim, tree, spec_for(protocol), IncastConfig(n_flows=30, n_rounds=8))
             wl.run_to_completion(max_events=100_000_000)
             results[protocol] = wl.mean_goodput_bps
         assert results["tcp+"] >= results["tcp"] * 0.8

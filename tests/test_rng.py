@@ -20,9 +20,7 @@ class TestRegistry:
 
     def test_stable_across_instances(self):
         # The mapping must not depend on interpreter hash salting.
-        assert RngRegistry(7).stream("flow/1").random() == RngRegistry(7).stream(
-            "flow/1"
-        ).random()
+        assert RngRegistry(7).stream("flow/1").random() == RngRegistry(7).stream("flow/1").random()
 
     def test_spawn_derives_new_registry(self):
         reg = RngRegistry(3)

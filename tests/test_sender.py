@@ -23,9 +23,7 @@ MSS = 1460
 def harness(total=20 * MSS, **cfg_overrides):
     sim = Simulator()
     tree = build_dumbbell(sim, n_senders=1)
-    cfg = TcpConfig(
-        seed_rtt_ns=100 * US, rto_min_ns=5 * MS, **cfg_overrides
-    )
+    cfg = TcpConfig(seed_rtt_ns=100 * US, rto_min_ns=5 * MS, **cfg_overrides)
     flow = next_flow_id()
     sender = TcpSender(sim, tree.servers[0], tree.aggregator.node_id, flow, cfg)
     sender.send(total)
@@ -111,9 +109,7 @@ class TestFastRetransmit:
         flight = s.bytes_in_flight
         for _ in range(3):
             ack(s, 4 * MSS)
-        assert s.ssthresh == pytest.approx(
-            max((flight // 2) // MSS * MSS, 2 * MSS)
-        )
+        assert s.ssthresh == pytest.approx(max((flight // 2) // MSS * MSS, 2 * MSS))
 
     def test_window_inflation_per_extra_dupack(self):
         sim, s = harness()

@@ -26,9 +26,7 @@ def build(sender_cls):
     sim = Simulator(seed=1)
     tree = build_dumbbell(sim, n_senders=1)
     cfg = TcpConfig(seed_rtt_ns=100 * US, rto_min_ns=2 * MS)
-    sender = sender_cls(
-        sim, tree.servers[0], tree.aggregator.node_id, next_flow_id(), config=cfg
-    )
+    sender = sender_cls(sim, tree.servers[0], tree.aggregator.node_id, next_flow_id(), config=cfg)
     sender.send(TOTAL)
     sim.run(until=1)
     return sim, sender
@@ -99,9 +97,7 @@ class TestAckFuzz:
 
 class TestMonotonicity:
     @settings(max_examples=25, deadline=None)
-    @given(
-        acks=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=40)
-    )
+    @given(acks=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=40))
     def test_snd_una_never_regresses(self, acks):
         sim, sender = build(TcpSender)
         high_water = 0

@@ -59,9 +59,7 @@ class TestAdmission:
 
     def test_per_port_cap_limits_monopoly(self):
         sim = Simulator()
-        switch = SharedBufferSwitch(
-            sim, shared_pool_bytes=30_000, per_port_cap_bytes=4_500
-        )
+        switch = SharedBufferSwitch(sim, shared_pool_bytes=30_000, per_port_cap_bytes=4_500)
         a, b, pa, pb = wire(sim, switch)
         fill(pa, 10, a.node_id)
         assert pa.queue.occupancy_bytes <= 4_500
@@ -128,8 +126,6 @@ class TestBurstAbsorption:
             return pa.queue.dropped_packets + getattr(switch, "pool_drops", 0)
 
         static = burst_drops(lambda sim: Switch(sim, buffer_bytes=128 * 1024))
-        shared = burst_drops(
-            lambda sim: SharedBufferSwitch(sim, shared_pool_bytes=512 * 1024)
-        )
+        shared = burst_drops(lambda sim: SharedBufferSwitch(sim, shared_pool_bytes=512 * 1024))
         assert static > 0
         assert shared == 0

@@ -110,7 +110,9 @@ class TestDumbbell:
         ep = Endpoint()
         tree.aggregator.register_flow(5, ep)
         tree.servers[2].send(
-            make_data_packet(5, tree.servers[2].node_id, tree.aggregator.node_id, seq=0, payload_len=10)
+            make_data_packet(
+                5, tree.servers[2].node_id, tree.aggregator.node_id, seq=0, payload_len=10
+            )
         )
         sim.run_until_idle()
         assert len(ep.packets) == 1
