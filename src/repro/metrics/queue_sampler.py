@@ -53,6 +53,9 @@ class QueueSampler:
         self._event = None
 
     def _tick(self) -> None:
+        # Our own event just fired; drop the dead handle before any early
+        # return so stop() never cancels a recycled event.
+        self._event = None
         if not self.running:
             return
         self.times_ns.append(self.sim.now)

@@ -82,6 +82,11 @@ class FlowTracer:
 
     # -- sampling ----------------------------------------------------------
     def _tick(self) -> None:
+        # The event that invoked us has fired: its handle is dead, and the
+        # engine will recycle the object.  Clear it *before* any early
+        # return so a later stop() can never cancel whatever unrelated
+        # event ends up reusing the carcass.
+        self._event = None
         if not self.running:
             return
         sender = self.sender

@@ -219,6 +219,7 @@ class BenchmarkWorkload:
         self._rng_bg = sim.stream("benchmark/background")
         self._rng_short = sim.stream("benchmark/short")
         self._started = False
+        self._stop_on_finish = False
         self.query_engine: Optional[_QueryEngine] = None
 
     # -- public --------------------------------------------------------------
@@ -247,10 +248,19 @@ class BenchmarkWorkload:
         self._check_done()
 
     def run_to_completion(self, max_events: Optional[int] = None) -> None:
+        """Start (if needed) and pump the simulator until all flows finish.
+
+        Only runs pumped here stop at workload completion; a caller driving
+        ``sim.run(until=...)`` itself runs to its own bound.
+        """
         if not self._started:
             self.start()
         if not self.finished:
-            self.sim.run(max_events=max_events)
+            self._stop_on_finish = True
+            try:
+                self.sim.run(max_events=max_events)
+            finally:
+                self._stop_on_finish = False
 
     def close(self) -> None:
         if self.query_engine is not None:
@@ -346,8 +356,11 @@ class BenchmarkWorkload:
         ):
             self.finished = True
             # Engine-level stop flag instead of a per-event stop_when
-            # predicate (run_to_completion guards the already-finished case).
-            self.sim.request_stop()
+            # predicate — but only when run_to_completion is the pump, so a
+            # caller's own sim.run(until=...) keeps its scope
+            # (run_to_completion guards the already-finished case).
+            if self._stop_on_finish:
+                self.sim.request_stop()
 
     # -- views --------------------------------------------------------------------------
     def fct_summary_ms(self, category: str) -> Summary:

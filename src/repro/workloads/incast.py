@@ -148,6 +148,7 @@ class IncastWorkload:
         self._bytes_at_round_start = 0
         self._timeouts_at_round_start = 0
         self._started = False
+        self._stop_on_finish = False
         self._build_flows()
 
     @property
@@ -203,11 +204,20 @@ class IncastWorkload:
         self.sim.schedule(0, self._begin_round)
 
     def run_to_completion(self, max_events: Optional[int] = None) -> None:
-        """Start (if needed) and pump the simulator until all rounds end."""
+        """Start (if needed) and pump the simulator until all rounds end.
+
+        Only runs pumped here stop at workload completion; a caller driving
+        ``sim.run(until=...)`` itself (e.g. to keep a queue sampler or
+        background traffic going past the last round) runs to its own bound.
+        """
         if not self._started:
             self.start()
         if not self.finished:
-            self.sim.run(max_events=max_events)
+            self._stop_on_finish = True
+            try:
+                self.sim.run(max_events=max_events)
+            finally:
+                self._stop_on_finish = False
 
     def close(self) -> None:
         """Tear down all endpoints (end of the experiment)."""
@@ -293,8 +303,10 @@ class IncastWorkload:
         if self._round_index >= self.config.n_rounds:
             self.finished = True
             # Stop the pump via the engine flag rather than a per-event
-            # stop_when predicate; the loop exits after this callback.
-            sim.request_stop()
+            # stop_when predicate — but only when run_to_completion is the
+            # pump, so a caller's own sim.run(until=...) keeps its scope.
+            if self._stop_on_finish:
+                sim.request_stop()
         else:
             sim.schedule(0, self._begin_round)
 

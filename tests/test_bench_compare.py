@@ -1,0 +1,107 @@
+"""Unit tests for the bench baseline comparison gates (pure dict in/out).
+
+CI relies on two distinct ``compare`` configurations: a same-machine
+relative perf gate (``allow_event_drift=True``) and a committed-baseline
+drift check (``perf_gate=False``).  These tests pin both.
+"""
+
+from repro.bench.harness import BASELINE_SCHEMA, compare
+
+
+def payload(**scenarios):
+    return {
+        "schema": BASELINE_SCHEMA,
+        "repeats": 3,
+        "environment": {},
+        "scenarios": scenarios,
+    }
+
+
+def entry(events, eps):
+    return {
+        "events": events,
+        "median_events_per_sec": eps,
+        "median_wall_s": events / eps,
+    }
+
+
+class TestPerfGate:
+    def test_within_tolerance_passes(self):
+        lines, ok = compare(
+            payload(a=entry(100, 900.0)), payload(a=entry(100, 1000.0)), 0.25
+        )
+        assert ok
+        assert "-10.0%" in lines[0]
+
+    def test_regression_fails(self):
+        lines, ok = compare(
+            payload(a=entry(100, 500.0)), payload(a=entry(100, 1000.0)), 0.25
+        )
+        assert not ok
+        assert "FAIL" in lines[0]
+
+    def test_improvement_passes(self):
+        _, ok = compare(
+            payload(a=entry(100, 2000.0)), payload(a=entry(100, 1000.0)), 0.25
+        )
+        assert ok
+
+    def test_no_perf_gate_reports_without_failing(self):
+        lines, ok = compare(
+            payload(a=entry(100, 500.0)),
+            payload(a=entry(100, 1000.0)),
+            0.25,
+            perf_gate=False,
+        )
+        assert ok
+        assert "informational" in lines[0]
+        assert "FAIL" not in lines[0]
+
+
+class TestEventDrift:
+    def test_drift_fails_by_default(self):
+        lines, ok = compare(
+            payload(a=entry(101, 1000.0)), payload(a=entry(100, 1000.0)), 0.25
+        )
+        assert not ok
+        assert "event count changed" in lines[0]
+
+    def test_drift_still_fails_with_perf_gate_off(self):
+        _, ok = compare(
+            payload(a=entry(101, 1000.0)),
+            payload(a=entry(100, 1000.0)),
+            0.25,
+            perf_gate=False,
+        )
+        assert not ok
+
+    def test_allow_event_drift_warns_and_skips_perf(self):
+        # Drifted scenario with a huge perf loss: timing is not comparable,
+        # so the scenario is warned about and the perf gate skipped.
+        lines, ok = compare(
+            payload(a=entry(101, 100.0)),
+            payload(a=entry(100, 1000.0)),
+            0.25,
+            allow_event_drift=True,
+        )
+        assert ok
+        assert "not comparable" in lines[0]
+
+    def test_allow_event_drift_keeps_perf_gate_for_stable_scenarios(self):
+        _, ok = compare(
+            payload(a=entry(101, 100.0), b=entry(50, 500.0)),
+            payload(a=entry(100, 1000.0), b=entry(50, 1000.0)),
+            0.25,
+            allow_event_drift=True,
+        )
+        assert not ok  # b's count matched, so its 50% regression gates
+
+
+class TestScenarioSets:
+    def test_one_sided_scenarios_never_fail(self):
+        lines, ok = compare(
+            payload(new=entry(10, 100.0)), payload(old=entry(10, 100.0)), 0.25
+        )
+        assert ok
+        assert any("no baseline entry" in line for line in lines)
+        assert any("not benchmarked" in line for line in lines)

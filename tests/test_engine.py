@@ -115,6 +115,84 @@ class TestRun:
         assert seen == ["a", "b"]
 
 
+class TestPushProtocolConsistency:
+    """Simulator.schedule and Simulator.run hand-inline the EventQueue push
+    and dispatch protocols for speed; these tests pin the copies together so
+    a change to the protocol cannot be applied to one copy and missed in
+    another."""
+
+    @staticmethod
+    def _snapshot(ev):
+        return (ev.time, ev.seq, ev.deadline, ev._dseq, ev.callback, ev.args, ev.cancelled)
+
+    def test_schedule_matches_queue_push_fresh(self):
+        def cb():
+            pass
+
+        a, b = Simulator(), Simulator()
+        ev_s = a.schedule(25, cb, 1, 2)
+        ev_p = b.queue.push(25, cb, (1, 2))
+        assert self._snapshot(ev_s) == self._snapshot(ev_p)
+        assert a.queue._heap[0][:2] == b.queue._heap[0][:2]
+        assert a.queue._seq == b.queue._seq
+        assert len(a.queue) == len(b.queue) == 1
+
+    def test_schedule_matches_queue_push_recycled(self):
+        def cb():
+            pass
+
+        a, b = Simulator(), Simulator()
+        fired_a = a.schedule(1, cb)
+        fired_b = b.queue.push(1, cb)
+        a.run_until_idle()
+        b.run_until_idle()
+        assert a.queue._free and b.queue._free
+        ev_s = a.schedule(30, cb, "x")
+        ev_p = b.queue.push(31, cb, ("x",))
+        # Both sides reused the fired carcass and reinitialized every slot.
+        assert ev_s is fired_a
+        assert ev_p is fired_b
+        assert self._snapshot(ev_s) == self._snapshot(ev_p)
+        assert a.queue._heap[0][:2] == b.queue._heap[0][:2]
+
+    def test_schedule_resets_cancelled_carcass(self):
+        sim = Simulator()
+        ev = sim.schedule(5, lambda: None)
+        sim.cancel(ev)
+        sim.run_until_idle()  # pops the carcass onto the freelist, cancelled
+        assert sim.queue._free == [ev]
+        seen = []
+        reused = sim.schedule(10, seen.append, "ran")
+        assert reused is ev
+        assert not reused.cancelled
+        sim.run_until_idle()
+        assert seen == ["ran"]
+
+    def test_run_dispatch_matches_queue_pop(self):
+        # The fused loop in Simulator.run must fire the same events in the
+        # same order as the canonical EventQueue.pop under a mix of
+        # cancellation and in-place reschedules.
+        def build(sim, order):
+            evs = {}
+            for label, t in (("a", 10), ("b", 20), ("c", 20), ("d", 30)):
+                evs[label] = sim.schedule(t, lambda label=label: order.append((label, sim.now)))
+            sim.cancel(evs["b"])
+            sim.reschedule(evs["a"], 25, lambda: order.append(("a2", sim.now)))
+
+        a, b = Simulator(), Simulator()
+        order_a, order_b = [], []
+        build(a, order_a)
+        build(b, order_b)
+        a.run_until_idle()
+        while True:
+            ev = b.queue.pop()
+            if ev is None:
+                break
+            b.now = ev.time
+            ev.callback(*ev.args)
+        assert order_a == order_b == [("c", 20), ("a2", 25), ("d", 30)]
+
+
 class TestRngIntegration:
     def test_streams_are_deterministic(self):
         a = Simulator(seed=5).stream("x").random()

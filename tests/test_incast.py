@@ -104,6 +104,35 @@ class TestPersistence:
             wl.start()
 
 
+class TestStopScope:
+    def test_run_to_completion_stops_at_finish(self):
+        sim, _, wl = run_workload(n_flows=2, n_rounds=1)
+        assert wl.finished
+        # Idle timers may remain, but the pump stopped at the last round.
+        assert sim.now == wl.rounds[-1].start_ns + wl.rounds[-1].duration_ns
+
+    def test_caller_driven_run_reaches_until(self):
+        # A caller pumping sim.run(until=...) itself — e.g. to keep a queue
+        # sampler or background traffic going past the last round — must not
+        # be stopped early by workload completion.
+        sim = Simulator(seed=1)
+        tree = build_two_tier(sim)
+        wl = IncastWorkload(sim, tree, spec_for("dctcp"), IncastConfig(n_flows=2, n_rounds=1))
+        wl.start()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if sim.now < 80 * MS:
+                sim.schedule(10 * MS, tick)
+
+        sim.schedule(10 * MS, tick)
+        sim.run(until=100 * MS)
+        assert wl.finished
+        assert sim.now == 100 * MS
+        assert ticks[-1] == 80 * MS
+
+
 class TestDeadline:
     def test_deadline_marks_round_failed(self):
         sim = Simulator(seed=1)

@@ -59,6 +59,26 @@ class TestSampling:
         assert len(tracer.times_ns) == 5
         assert not tracer.running
 
+    def test_stop_after_exhaustion_cannot_cancel_recycled_event(self):
+        # Regression: when max_samples exhausts, the just-fired tick event
+        # goes to the engine freelist.  A stale tracer handle to it must not
+        # let stop() cancel whatever unrelated event reuses the carcass.
+        sim = Simulator(seed=2)
+        tree = build_dumbbell(sim, n_senders=1)
+        flow = next_flow_id()
+        config = TcpConfig(seed_rtt_ns=tree.baseline_rtt_ns(), rto_min_ns=5 * MS)
+        sender = TcpSender(sim, tree.servers[0], tree.aggregator.node_id, flow, config=config)
+        tracer = FlowTracer(sim, sender, interval_ns=100 * US, max_samples=3)
+        tracer.start()
+        sim.run_until_idle()  # idle flow: only tracer ticks fire
+        assert len(tracer.times_ns) == 3
+        assert not tracer.running
+        seen = []
+        sim.schedule(1_000, seen.append, "alive")  # reuses the tick carcass
+        tracer.stop()
+        sim.run_until_idle()
+        assert seen == ["alive"]
+
     def test_validation(self):
         sim, sender, _ = traced_flow()
         with pytest.raises(ValueError):
