@@ -29,6 +29,7 @@ counts gate, its throughput is the informational perf trajectory.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -97,7 +98,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="reuse results from a previous --write instead of re-running "
         "(compare-only mode; --repeats/--scenario/--quick are ignored)",
     )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="benchmark with the repro.validate invariant checker attached "
+        "(measures validation overhead; do not gate against a validate-off baseline)",
+    )
     args = parser.parse_args(argv)
+
+    if args.validate:
+        os.environ["REPRO_VALIDATE"] = "1"
 
     if args.list:
         for scenario in SCENARIOS:

@@ -42,6 +42,7 @@ class SlowTimeStateMachine:
         "peak_slow_time_ns",
         "_last_decay_ns",
         "unit_source",
+        "observer",
     )
 
     def __init__(self, config: DctcpPlusConfig, rng: Optional[random.Random] = None):
@@ -57,6 +58,10 @@ class SlowTimeStateMachine:
         #: optional callable returning the live backoff unit (e.g. the
         #: connection's SRTT); installed by the sender in "srtt" mode.
         self.unit_source = None
+        #: optional hook fired on the NORMAL -> TIME_INC transition; the
+        #: validate layer uses it to assert the transition only happens
+        #: with cwnd at its floor.  None on the (default) unvalidated path.
+        self.observer = None
 
     def _current_unit(self) -> int:
         unit = self.config.backoff_time_unit_ns
@@ -79,6 +84,8 @@ class SlowTimeStateMachine:
         """cwnd is at the floor *and* the sender was told to slow down
         (ECE-marked ACK, or a retransmission following an RTO)."""
         if self.state is DctcpPlusState.NORMAL:
+            if self.observer is not None:
+                self.observer(self)
             self.state = DctcpPlusState.TIME_INC
             self.transitions_to_inc += 1
             self.slow_time_ns = self._draw_backoff()

@@ -24,7 +24,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..metrics.flowstats import FlowStats
 from ..metrics.queue_sampler import QueueSampler
-from ..net.topology import TopologyParams, build_two_tier
+from ..net.faults import drop_nth, make_lossy, random_loss
+from ..net.topology import TopologyParams, TwoTierTree, build_two_tier
 from ..sim.engine import Simulator
 from ..tcp.timeouts import TimeoutKind
 from ..workloads.background import BackgroundTraffic
@@ -58,6 +59,9 @@ class ScenarioSpec:
     incast_overrides: Overrides = ()
     #: () means "builder defaults"; otherwise the full TopologyParams fields.
     topo_overrides: Overrides = ()
+    #: fault injection on the bottleneck link, as pure data (see
+    #: :func:`_apply_faults`); () means no injected faults.
+    fault_overrides: Overrides = ()
     with_background: bool = False
     sample_queue: bool = False
     max_events: int = 400_000_000
@@ -75,6 +79,7 @@ class ScenarioSpec:
         plus_overrides: Optional[Mapping[str, object]] = None,
         incast_overrides: Optional[Mapping[str, object]] = None,
         topo: Optional[Union[TopologyParams, Mapping[str, object]]] = None,
+        fault_overrides: Optional[Mapping[str, object]] = None,
         with_background: bool = False,
         sample_queue: bool = False,
         max_events: int = 400_000_000,
@@ -100,6 +105,7 @@ class ScenarioSpec:
             plus_overrides=_freeze(plus_overrides),
             incast_overrides=_freeze(incast_overrides),
             topo_overrides=_freeze(topo),
+            fault_overrides=_freeze(fault_overrides),
             with_background=with_background,
             sample_queue=sample_queue,
             max_events=max_events,
@@ -284,7 +290,27 @@ def _flowstats_from_dict(data: Mapping[str, object]) -> FlowStats:
     )
 
 
-def run_scenario(spec: ScenarioSpec) -> PointResult:
+def _apply_faults(sim: Simulator, tree: TwoTierTree, fault_overrides: Overrides) -> None:
+    """Splice a lossy link onto the bottleneck port per the fault spec.
+
+    The spec is pure data so it stays hashable/picklable: ``kind`` selects
+    the policy (``random_loss`` with ``rate``, or ``drop_nth`` with
+    ``indices``), and randomness comes from a named simulator stream so the
+    injected losses replay exactly for a given scenario seed.
+    """
+    cfg = dict(fault_overrides)
+    kind = cfg.get("kind")
+    if kind == "random_loss":
+        policy = random_loss(sim.stream("faults/bottleneck"), float(cfg.get("rate", 0.01)))
+    elif kind == "drop_nth":
+        policy = drop_nth(*cfg.get("indices", ()))
+    else:
+        raise ValueError(f"unknown fault kind: {kind!r}")
+    port = tree.bottleneck_port
+    port.link = make_lossy(port.link, policy)
+
+
+def run_scenario(spec: ScenarioSpec, validate: Optional[bool] = None) -> PointResult:
     """Simulate one :class:`ScenarioSpec` and return its :class:`PointResult`.
 
     This is the worker function of the execution layer: it is a pure
@@ -292,11 +318,17 @@ def run_scenario(spec: ScenarioSpec) -> PointResult:
     builds its own :class:`Simulator`, and never touches shared state.
     Flow ids in the returned stats are renumbered to per-scenario indices so
     that results are identical no matter which process ran the spec.
+
+    ``validate`` attaches the :mod:`repro.validate` invariant checker for
+    this run (``None`` defers to ``REPRO_VALIDATE``, so worker processes
+    inherit the choice through the environment).
     """
     started = time.perf_counter()
-    sim = Simulator(seed=spec.seed)
+    sim = Simulator(seed=spec.seed, validate=validate)
     events_before = sim.events_processed
     tree = build_two_tier(sim, spec.topology_params())
+    if spec.fault_overrides:
+        _apply_faults(sim, tree, spec.fault_overrides)
     protocol_spec = spec.protocol_spec()
 
     background = None
@@ -311,6 +343,8 @@ def run_scenario(spec: ScenarioSpec) -> PointResult:
 
     workload = IncastWorkload(sim, tree, protocol_spec, spec.incast_config())
     workload.run_to_completion(max_events=spec.max_events)
+    if sim.checker is not None:
+        sim.checker.verify_all()
 
     queue_samples: List[int] = []
     if sampler is not None:

@@ -26,6 +26,7 @@ table** as a serial run, only faster, and a re-run with the same
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -85,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the per-point progress lines on stderr",
     )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="run every simulation under the repro.validate invariant checker "
+        "(slower; cached points are returned as-is without re-validation)",
+    )
     parser.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
     parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON instead of a table"
@@ -133,15 +140,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     runner = get_runner(args.experiment)
     kwargs = _kwargs_for(args.experiment, args)
+    if args.validate:
+        # Via the environment so worker processes inherit the choice.
+        os.environ["REPRO_VALIDATE"] = "1"
     executor = make_executor(
         workers=args.workers,
         cache_dir=args.cache_dir,
         progress=None if args.no_progress else _print_progress,
     )
-    started = time.time()
+    started = time.perf_counter()
     with using_executor(executor):
         result = runner(**kwargs)
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
     if args.json:
         print(result.to_json())
     elif args.csv:

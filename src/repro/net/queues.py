@@ -41,9 +41,11 @@ class DropTailQueue:
         "_queue",
         "occupancy_bytes",
         "enqueued_packets",
+        "dequeued_packets",
         "dropped_packets",
         "marked_packets",
         "enqueued_bytes",
+        "dequeued_bytes",
         "dropped_bytes",
         "on_drop",
         "on_mark",
@@ -65,9 +67,11 @@ class DropTailQueue:
         self._queue: Deque[Packet] = deque()
         self.occupancy_bytes = 0
         self.enqueued_packets = 0
+        self.dequeued_packets = 0
         self.dropped_packets = 0
         self.marked_packets = 0
         self.enqueued_bytes = 0
+        self.dequeued_bytes = 0
         self.dropped_bytes = 0
         self.on_drop = on_drop
         self.on_mark = on_mark
@@ -112,7 +116,12 @@ class DropTailQueue:
         if not queue:
             return None
         packet = queue.popleft()
-        self.occupancy_bytes -= packet.wire_bytes
+        wire_bytes = packet.wire_bytes
+        self.occupancy_bytes -= wire_bytes
+        # Departure counters close the conservation law the validate layer
+        # sweeps: enqueued == dequeued + resident, in packets and bytes.
+        self.dequeued_packets += 1
+        self.dequeued_bytes += wire_bytes
         return packet
 
     @property

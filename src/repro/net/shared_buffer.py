@@ -40,14 +40,24 @@ class _PooledQueue(DropTailQueue):
 
     def enqueue(self, packet: Packet) -> bool:
         pool = self.switch_ref
-        if pool.pool_occupancy_bytes + packet.wire_bytes > pool.shared_pool_bytes:
+        wire_bytes = packet.wire_bytes
+        if pool._pool_occupancy + wire_bytes > pool.shared_pool_bytes:
             self.dropped_packets += 1
-            self.dropped_bytes += packet.wire_bytes
+            self.dropped_bytes += wire_bytes
             pool.pool_drops += 1
             if self.on_drop is not None:
                 self.on_drop(packet)
             return False
-        return super().enqueue(packet)
+        if super().enqueue(packet):
+            pool._pool_occupancy += wire_bytes
+            return True
+        return False
+
+    def dequeue(self):
+        packet = super().dequeue()
+        if packet is not None:
+            self.switch_ref._pool_occupancy -= packet.wire_bytes
+        return packet
 
 
 class SharedBufferSwitch(Node):
@@ -61,6 +71,7 @@ class SharedBufferSwitch(Node):
         "ecn_threshold_bytes",
         "pool_drops",
         "unroutable_drops",
+        "_pool_occupancy",
     )
 
     def __init__(
@@ -81,11 +92,18 @@ class SharedBufferSwitch(Node):
         self.ecn_threshold_bytes = ecn_threshold_bytes
         self.pool_drops = 0
         self.unroutable_drops = 0
+        # Maintained incrementally by _PooledQueue so per-packet admission
+        # is O(1) instead of summing every port; the validate layer
+        # cross-checks it against the per-port sum.
+        self._pool_occupancy = 0
+        checker = sim.checker
+        if checker is not None:
+            checker.register_switch(self)
 
     @property
     def pool_occupancy_bytes(self) -> int:
         """Bytes currently buffered across every port."""
-        return sum(port.queue.occupancy_bytes for port in self.ports)
+        return self._pool_occupancy
 
     def add_port(self, link: Link, name: str = "") -> OutputPort:
         per_port_cap = (

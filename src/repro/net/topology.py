@@ -24,6 +24,7 @@ from .link import DEFAULT_PROP_DELAY_NS, Link
 from .packet import ACK_BYTES, DEFAULT_MSS, HEADER_BYTES
 from .port import OutputPort
 from .queues import DEFAULT_BUFFER_BYTES, DEFAULT_ECN_THRESHOLD
+from .shared_buffer import SharedBufferSwitch
 from .switch import Switch
 
 
@@ -37,6 +38,22 @@ class TopologyParams:
     ecn_threshold_bytes: Optional[int] = DEFAULT_ECN_THRESHOLD
     n_servers: int = 9
     n_leaf_switches: int = 2
+    #: When set, every switch becomes a :class:`SharedBufferSwitch` with a
+    #: dynamically shared pool of this many bytes (``buffer_bytes`` then
+    #: caps each individual port's share).
+    shared_pool_bytes: Optional[int] = None
+
+
+def _make_switch(sim: Simulator, name: str, params: "TopologyParams") -> Switch:
+    if params.shared_pool_bytes is not None:
+        return SharedBufferSwitch(
+            sim,
+            name,
+            shared_pool_bytes=params.shared_pool_bytes,
+            per_port_cap_bytes=params.buffer_bytes,
+            ecn_threshold_bytes=params.ecn_threshold_bytes,
+        )
+    return Switch(sim, name, params.buffer_bytes, params.ecn_threshold_bytes)
 
 
 @dataclass
@@ -122,11 +139,8 @@ def build_two_tier(sim: Simulator, params: Optional[TopologyParams] = None) -> T
     if params.n_leaf_switches < 1:
         raise ValueError("need at least one leaf switch")
 
-    root = Switch(sim, "switch1", params.buffer_bytes, params.ecn_threshold_bytes)
-    leaves = [
-        Switch(sim, f"switch{i + 2}", params.buffer_bytes, params.ecn_threshold_bytes)
-        for i in range(params.n_leaf_switches)
-    ]
+    root = _make_switch(sim, "switch1", params)
+    leaves = [_make_switch(sim, f"switch{i + 2}", params) for i in range(params.n_leaf_switches)]
     aggregator = Host(sim, "aggregator")
     bottleneck_port = _attach_host(sim, root, aggregator, params)
 
@@ -179,7 +193,7 @@ def build_dumbbell(
     (``aggregator``, ``servers``, ``bottleneck_port``).
     """
     params = params or TopologyParams()
-    root = Switch(sim, "switch1", params.buffer_bytes, params.ecn_threshold_bytes)
+    root = _make_switch(sim, "switch1", params)
     aggregator = Host(sim, "receiver")
     bottleneck_port = _attach_host(sim, root, aggregator, params)
     servers = []

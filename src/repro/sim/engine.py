@@ -15,11 +15,19 @@ attribute lookups per event.
 
 from __future__ import annotations
 
+import os
 from heapq import heappop, heappush, heapreplace
 from typing import Callable, Optional
 
 from .events import FREELIST_MAX, Event, EventQueue, _noop
 from .rng import RngRegistry
+
+#: Environment opt-in for runtime invariant checking (see ``repro.validate``).
+VALIDATE_ENV = "REPRO_VALIDATE"
+
+
+def _env_validate() -> bool:
+    return os.environ.get(VALIDATE_ENV, "").strip().lower() in ("1", "true", "on", "yes")
 
 
 class SimulationError(RuntimeError):
@@ -33,12 +41,19 @@ class Simulator:
     ----------
     seed:
         Master seed for the per-component RNG registry.
+    validate:
+        Attach a :class:`repro.validate.InvariantChecker` that components
+        register with at construction and that the (separate, slower)
+        validated dispatch loop sweeps while running.  ``None`` (default)
+        consults the ``REPRO_VALIDATE`` environment variable; ``False``
+        leaves ``checker`` as ``None`` and the hot path untouched.
     """
 
     __slots__ = (
         "now",
         "queue",
         "rng",
+        "checker",
         "_running",
         "events_processed",
         "_sequence",
@@ -47,7 +62,7 @@ class Simulator:
         "_stop",
     )
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, validate: Optional[bool] = None):
         self.now: int = 0
         self.queue = EventQueue()
         self.rng = RngRegistry(seed)
@@ -59,6 +74,16 @@ class Simulator:
         # attribute chain + bound-method allocation is measurable there.
         self._push = self.queue.push
         self._stop = False
+        if validate is None:
+            validate = _env_validate()
+        if validate:
+            # Imported lazily: the validate layer is optional and the
+            # common (disabled) path must not pay for it.
+            from ..validate.checker import InvariantChecker
+
+            self.checker = InvariantChecker(self)
+        else:
+            self.checker = None
 
     def next_sequence(self) -> int:
         """Per-simulation monotonically increasing id.
@@ -168,6 +193,8 @@ class Simulator:
 
         Returns the number of events processed in this call.
         """
+        if self.checker is not None:
+            return self._run_validated(until, max_events, stop_when)
         queue = self.queue
         # The dispatch loop works on the queue's raw heap (same entry
         # layout as EventQueue.pop) so each event costs one tuple unpack
@@ -231,6 +258,80 @@ class Simulator:
         finally:
             self._running = False
             self.events_processed += processed
+        if until is not None and self.now < until and queue.peek_time() is None:
+            self.now = until
+        return processed
+
+    def _run_validated(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Dispatch loop used when an :class:`InvariantChecker` is attached.
+
+        Semantically identical to :meth:`run` — same ordering, same stop
+        conditions, same ``events_processed`` accounting — but it asserts
+        monotone non-decreasing dispatch timestamps and sweeps the checker
+        inline every ``checker.sweep_every`` events.  Sweeps are *not*
+        scheduled events, so event counts and digests match unvalidated
+        runs exactly.  Fired events are not recycled to the freelist here;
+        the only difference is object identity, which no component can
+        observe (handles are single-use).
+        """
+        queue = self.queue
+        heap = queue._heap
+        checker = self.checker
+        sweep_every = checker.sweep_every
+        since_sweep = 0
+        processed = 0
+        self._running = True
+        self._stop = False
+        try:
+            while True:
+                if max_events is not None and processed >= max_events:
+                    break
+                ev = None
+                while heap:
+                    entry = heap[0]
+                    ev = entry[2]
+                    if ev.cancelled:
+                        heappop(heap)
+                        ev = None
+                        continue
+                    deadline = ev.deadline
+                    ev_time = entry[0]
+                    if deadline > ev_time:
+                        ev.time = deadline
+                        ev.seq = ev._dseq
+                        heapreplace(heap, (deadline, ev._dseq, ev))
+                        ev = None
+                        continue
+                    break
+                if ev is None:
+                    break
+                if until is not None and ev_time > until:
+                    self.now = until
+                    break
+                checker.check_dispatch_time(ev_time)
+                heappop(heap)
+                ev.deadline = -1
+                queue._live -= 1
+                self.now = ev_time
+                ev.callback(*ev.args)
+                processed += 1
+                since_sweep += 1
+                if since_sweep >= sweep_every:
+                    since_sweep = 0
+                    checker.sweep()
+                if self._stop:
+                    break
+                if stop_when is not None and stop_when():
+                    break
+        finally:
+            self._running = False
+            self.events_processed += processed
+        checker.sweep()
         if until is not None and self.now < until and queue.peek_time() is None:
             self.now = until
         return processed

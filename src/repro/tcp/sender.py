@@ -96,6 +96,9 @@ class TcpSender:
         self.pacer: Optional[Pacer] = None
 
         host.register_flow(flow_id, self)
+        checker = sim.checker
+        if checker is not None:
+            checker.register_sender(self)
 
     # ------------------------------------------------------------------ app API
     def send(self, nbytes: int) -> None:

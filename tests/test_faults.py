@@ -6,7 +6,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.net.faults import drop_data_once, drop_nth, make_lossy, never, random_loss
-from repro.net.link import Link
 from repro.net.topology import build_dumbbell
 from repro.sim.engine import Simulator
 from repro.sim.units import MS, US
@@ -121,6 +120,91 @@ class TestRecoveryUnderInjectedLoss:
         assert sender.completed
         assert receiver.bytes_delivered == 20 * MSS
         assert receiver.rcv_nxt == 20 * MSS
+
+
+class TestMidRunSplice:
+    """Regression: lossy-link splicing composes with the rebinding
+    ``OutputPort.link`` property *and* the event freelist.
+
+    The splice rebinds the port's per-packet fast paths while events
+    scheduled through the pre-splice bindings (serializations in flight,
+    rearmed RTO timers whose handles may sit on the recycled-event
+    freelist) are still pending; none of that may corrupt delivery or the
+    port's packet accounting.
+    """
+
+    def _run_with_mid_run_splice(self, validate=False, policy_factory=None):
+        total = 40 * MSS
+        sim = Simulator(seed=2, validate=validate)
+        tree = build_dumbbell(sim, n_senders=1)
+        port = tree.bottleneck_port
+        flow = next_flow_id()
+        receiver = TcpReceiver(
+            sim, tree.aggregator, tree.servers[0].node_id, flow, expected_bytes=total
+        )
+        cfg = TcpConfig(seed_rtt_ns=tree.baseline_rtt_ns(), rto_min_ns=4 * MS)
+        sender = TcpSender(sim, tree.servers[0], tree.aggregator.node_id, flow, cfg)
+        sender.send(total)
+
+        state = {}
+
+        def splice():
+            # Mid-run: the pump is live and timers are armed.
+            assert 0 < port.tx_packets and not sender.completed
+            rto_event = sender._rto_event
+            assert rto_event is not None and rto_event.deadline >= 0  # armed
+            state["tx_before"] = port.tx_packets
+            policy = (policy_factory or (lambda: random_loss(random.Random(9), 0.08)))()
+            port.link = make_lossy(port.link, policy)
+            state["rto_event"] = rto_event
+
+        sim.schedule(400_000, splice)  # ~4 RTTs in: transfer is mid-flight
+        sim.run(max_events=5_000_000)
+        return sim, sender, receiver, port, state
+
+    def test_splice_mid_run_conserves_delivery(self):
+        sim, sender, receiver, port, state = self._run_with_mid_run_splice()
+        assert sender.completed
+        assert receiver.bytes_delivered == 40 * MSS
+        assert receiver.rcv_nxt == 40 * MSS
+        link = port.link
+        assert link.injected_drops > 0  # the fault actually bit
+        # every post-splice transmission was offered to the spliced link
+        assert link.offered_packets == port.tx_packets - state["tx_before"]
+
+    def test_splice_mid_run_conserves_port_counts(self):
+        sim, sender, receiver, port, state = self._run_with_mid_run_splice()
+        q = port.queue
+        assert q.enqueued_packets == q.dequeued_packets + len(q)
+        assert q.enqueued_bytes == q.dequeued_bytes + q.occupancy_bytes
+        assert q.dequeued_packets == port.tx_packets  # pump drained
+
+    def test_no_stale_handle_cancellation_after_splice(self):
+        """The RTO handle captured at splice time was rearmed in place and
+        eventually recycled; cancelling through the stale reference must
+        not kill an unrelated (recycled) event."""
+        sim, sender, receiver, port, state = self._run_with_mid_run_splice()
+        assert len(sim.queue._free) > 0  # cancels recycled through the freelist
+        stale = state["rto_event"]
+        assert stale.deadline == -1  # fired or cancelled long ago
+        pending_before = len(sim.queue)
+        sim.cancel(stale)  # stale handle: must be a no-op
+        assert len(sim.queue) == pending_before
+        assert sender.completed
+
+    def test_splice_composes_with_invariant_checker(self):
+        sim, sender, receiver, port, state = self._run_with_mid_run_splice(validate=True)
+        assert sender.completed
+        assert receiver.bytes_delivered == 40 * MSS
+        sim.checker.verify_all()
+
+    def test_deterministic_drop_schedule_after_splice(self):
+        sim, sender, receiver, port, state = self._run_with_mid_run_splice(
+            policy_factory=lambda: drop_nth(2, 5)
+        )
+        assert sender.completed
+        assert port.link.injected_drops == 2
+        assert receiver.bytes_delivered == 40 * MSS
 
 
 class TestLimitedTransmit:

@@ -112,6 +112,70 @@ class TestForwarding:
             switch.add_route(host.node_id, foreign)
 
 
+class TestPoolAccounting:
+    """Conservation of the shared pool under concurrent port pressure."""
+
+    def test_drops_counted_exactly_once(self):
+        """Every offered packet is either enqueued or dropped — never both,
+        never twice — whether rejected by the pool or the per-port cap."""
+        sim = Simulator()
+        switch = SharedBufferSwitch(sim, shared_pool_bytes=12_000, per_port_cap_bytes=9_000)
+        a, b, pa, pb = wire(sim, switch)
+        offered = 15
+        fill(pa, offered, a.node_id)
+        fill(pb, offered, b.node_id)
+        for port in (pa, pb):
+            q = port.queue
+            assert q.enqueued_packets + q.dropped_packets == offered
+        # pool drops are a subset of per-port drops, not an extra count
+        total_drops = pa.queue.dropped_packets + pb.queue.dropped_packets
+        assert switch.pool_drops <= total_drops
+
+    def test_pool_occupancy_tracks_sum_under_interleaved_pressure(self):
+        sim = Simulator()
+        switch = SharedBufferSwitch(sim, shared_pool_bytes=20_000)
+        a, b, pa, pb = wire(sim, switch)
+        # interleave admissions across both ports against a shared pool
+        for i in range(12):
+            port, dst = (pa, a.node_id) if i % 2 == 0 else (pb, b.node_id)
+            fill(port, 1, dst)
+            assert (
+                switch.pool_occupancy_bytes
+                == pa.queue.occupancy_bytes + pb.queue.occupancy_bytes
+            )
+            assert switch.pool_occupancy_bytes <= switch.shared_pool_bytes
+
+    def test_pool_occupancy_returns_to_zero_after_drain(self):
+        sim = Simulator()
+        switch = SharedBufferSwitch(sim, shared_pool_bytes=50_000)
+        a, b, pa, pb = wire(sim, switch)
+        fill(pa, 10, a.node_id)
+        fill(pb, 10, b.node_id)
+        assert switch.pool_occupancy_bytes > 0
+        sim.run_until_idle()
+        assert switch.pool_occupancy_bytes == 0
+        assert pa.queue.occupancy_bytes == 0
+        assert pb.queue.occupancy_bytes == 0
+        # conservation closed out: everything admitted also departed
+        for port in (pa, pb):
+            q = port.queue
+            assert q.dequeued_packets == q.enqueued_packets
+            assert q.dequeued_bytes == q.enqueued_bytes
+
+    def test_pool_freed_bytes_readmit_after_partial_drain(self):
+        """Bytes freed by departures become available to the *other* port —
+        the dynamic-sharing property, via the incremental pool counter."""
+        sim = Simulator()
+        switch = SharedBufferSwitch(sim, shared_pool_bytes=9_000)
+        a, b, pa, pb = wire(sim, switch)
+        fill(pa, 8, a.node_id)  # pool now full
+        assert fill(pb, 1, b.node_id) == 0
+        drops_before = pb.queue.dropped_packets
+        sim.run_until_idle()  # drain everything
+        assert fill(pb, 3, b.node_id) == 3
+        assert pb.queue.dropped_packets == drops_before
+
+
 class TestBurstAbsorption:
     def test_shared_pool_absorbs_bigger_incast_burst_than_static(self):
         """The motivation: the same fan-in burst that overflows a 128 KB
