@@ -11,7 +11,14 @@ The package layers:
 - :mod:`repro.metrics`   — flow stats, queue sampling, histograms, tables
 - :mod:`repro.exec`  — declarative scenario specs, serial/parallel executors,
   on-disk result cache
+- :mod:`repro.telemetry` — typed event tracing, collectors, exporters,
+  engine profiling (``python -m repro trace``)
 - :mod:`repro.experiments` — one driver per paper table/figure
+
+:mod:`repro.config` gathers the protocol configuration surfaces
+(:class:`TcpConfig`, :class:`DctcpPlusConfig`, :class:`ProtocolSpec`)
+into one documented namespace; the classes are the same objects as the
+originals, so existing import paths keep working.
 
 Quickstart::
 
@@ -22,6 +29,14 @@ Quickstart::
     workload = IncastWorkload(sim, tree, spec_for("dctcp+"), IncastConfig(n_flows=80))
     workload.run_to_completion()
     print(workload.mean_goodput_bps / 1e6, "Mbps")
+
+Tracing a declarative scenario::
+
+    from repro import ScenarioSpec, run_scenario
+
+    spec = ScenarioSpec.create("dctcp", n_flows=128, rounds=2, seed=1, trace=True)
+    result = run_scenario(spec)
+    print(len(result.trace_events), "trace records")
 """
 
 from .exec import (
@@ -39,7 +54,7 @@ from .core import (
     SlowTimePacer,
     SlowTimeStateMachine,
 )
-from .metrics import FlowStats, QueueSampler
+from .metrics import CwndTracker, FlowStats, FlowTracer, QueueSampler
 from .net import (
     Host,
     Link,
@@ -52,6 +67,13 @@ from .net import (
 )
 from .sim import Simulator
 from .tcp import DctcpSender, TcpConfig, TcpReceiver, TcpSender, TimeoutKind
+from .telemetry import (
+    Collector,
+    EngineProfiler,
+    PeriodicCollector,
+    Tracer,
+    TraceRecord,
+)
 from .workloads import (
     BackgroundConfig,
     BackgroundTraffic,
@@ -62,8 +84,10 @@ from .workloads import (
     ProtocolSpec,
     spec_for,
 )
+from . import config
+from .experiments.common import run_incast_batch
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Simulator",
@@ -94,12 +118,21 @@ __all__ = [
     "ProtocolSpec",
     "spec_for",
     "FlowStats",
+    "FlowTracer",
+    "CwndTracker",
     "QueueSampler",
     "ScenarioSpec",
     "PointResult",
     "run_scenario",
+    "run_incast_batch",
     "SerialExecutor",
     "ParallelExecutor",
     "ResultCache",
+    "Tracer",
+    "TraceRecord",
+    "Collector",
+    "PeriodicCollector",
+    "EngineProfiler",
+    "config",
     "__version__",
 ]

@@ -1,0 +1,70 @@
+"""One documented namespace for every protocol configuration surface.
+
+The package grew two overlapping config dataclasses — the transport
+knobs in :class:`repro.tcp.config.TcpConfig` and the slow_time law in
+:class:`repro.core.config.DctcpPlusConfig` — plus the per-protocol
+bundle :class:`repro.workloads.protocols.ProtocolSpec` that wires both
+into a sender factory.  This module re-exports all of them (the classes
+*are* the originals, not copies, so old import paths keep working and
+``isinstance`` checks never split) and documents how they compose:
+
+- :class:`TcpConfig` — per-sender transport tunables (MSS, cwnd bounds,
+  RTO, ECN, DCTCP's ``g``).  Every sender takes one.
+- :class:`DctcpPlusConfig` — the slow_time regulation law (backoff unit,
+  divisor, threshold_T, randomization).  Only DCTCP+/TCP+ senders take
+  one, alongside their :class:`TcpConfig`.
+- :class:`ProtocolSpec` / :func:`spec_for` — a named bundle mapping a
+  protocol string ("dctcp+", "tcp", ...) to a sender factory plus its
+  default config pair; what scenario specs and workloads consume.
+
+Overlap rule (``min_cwnd_mss``): both dataclasses carry a cwnd-floor
+field.  The transport-level :attr:`TcpConfig.min_cwnd_mss` (default 2,
+Eq. (2)'s ``W >= 2``) is what the sender enforces; DCTCP+'s
+:attr:`DctcpPlusConfig.min_cwnd_mss` (default 1, paper footnote 3) is
+the *protocol's choice* for that floor, and the DCTCP+/TCP+ constructors
+apply it by overriding the transport config::
+
+    config = (config or TcpConfig()).with_overrides(
+        min_cwnd_mss=plus_config.min_cwnd_mss
+    )
+
+:func:`effective_tcp_config` exposes that composition for callers who
+want the resolved transport config without building a sender.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .core.config import DctcpPlusConfig
+from .tcp.config import TcpConfig
+from .workloads.protocols import ProtocolSpec, spec_for
+
+__all__ = [
+    "TcpConfig",
+    "DctcpPlusConfig",
+    "ProtocolSpec",
+    "spec_for",
+    "effective_tcp_config",
+]
+
+
+def effective_tcp_config(
+    tcp: Optional[TcpConfig] = None,
+    plus: Optional[DctcpPlusConfig] = None,
+    *,
+    ecn_enabled: Optional[bool] = None,
+) -> TcpConfig:
+    """The transport config a DCTCP+/TCP+ sender would actually run with.
+
+    Applies the same precedence as the sender constructors: the plus
+    config's ``min_cwnd_mss`` overrides the transport floor, and
+    ``ecn_enabled`` (when given) models the protocol's ECN stance
+    (DCTCP+ forces it on, TCP+ forces it off).
+    """
+    tcp = tcp or TcpConfig()
+    if plus is not None:
+        tcp = tcp.with_overrides(min_cwnd_mss=plus.min_cwnd_mss)
+    if ecn_enabled is not None:
+        tcp = tcp.with_overrides(ecn_enabled=ecn_enabled)
+    return tcp

@@ -58,9 +58,9 @@ class DctcpPlusSender(DctcpSender):
         #: the next ``statuses_evolution`` input counts as congestion
         #: ("retrans" arc in Fig. 4) even if the ACK carries no ECE.
         self._retrans_pending = False
-        checker = sim.checker
-        if checker is not None:
-            checker.attach_machine(self.machine, self)
+        hooks = sim.hooks
+        if hooks is not None:
+            hooks.machine_created(self.machine, self)
 
     def _srtt_unit(self):
         """Live backoff unit for ``backoff_unit_mode='srtt'``: the smoothed

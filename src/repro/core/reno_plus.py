@@ -54,9 +54,9 @@ class RenoPlusSender(TcpSender):
             self.machine.unit_source = self._srtt_unit
         self.pacer = SlowTimePacer(self.machine)
         self._retrans_pending = False
-        checker = sim.checker
-        if checker is not None:
-            checker.attach_machine(self.machine, self)
+        hooks = sim.hooks
+        if hooks is not None:
+            hooks.machine_created(self.machine, self)
 
     def _srtt_unit(self):
         srtt = self.rtt.srtt_ns

@@ -43,6 +43,7 @@ class SlowTimeStateMachine:
         "_last_decay_ns",
         "unit_source",
         "observer",
+        "on_update",
     )
 
     def __init__(self, config: DctcpPlusConfig, rng: Optional[random.Random] = None):
@@ -62,6 +63,11 @@ class SlowTimeStateMachine:
         #: validate layer uses it to assert the transition only happens
         #: with cwnd at its floor.  None on the (default) unvalidated path.
         self.observer = None
+        #: optional hook fired after every state/slow_time update, with
+        #: ``(machine, cause)`` where cause is "congestion" or "decay"; the
+        #: telemetry tracer records transitions and slow_time evolution
+        #: through it.  None on the (default) untraced path.
+        self.on_update = None
 
     def _current_unit(self) -> int:
         unit = self.config.backoff_time_unit_ns
@@ -97,6 +103,8 @@ class SlowTimeStateMachine:
             self.slow_time_ns += self._draw_backoff()
         if self.slow_time_ns > self.peak_slow_time_ns:
             self.peak_slow_time_ns = self.slow_time_ns
+        if self.on_update is not None:
+            self.on_update(self, "congestion")
 
     def on_clean_ack(self, now_ns: int = 0) -> None:
         """An ACK arrived without congestion evidence.
@@ -124,6 +132,8 @@ class SlowTimeStateMachine:
             self.state = DctcpPlusState.NORMAL
             self.transitions_to_normal += 1
             self.slow_time_ns = 0
+        if self.on_update is not None:
+            self.on_update(self, "decay")
 
     # -- views -------------------------------------------------------------------
     @property

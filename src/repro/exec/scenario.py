@@ -28,13 +28,14 @@ from ..net.faults import drop_nth, make_lossy, random_loss
 from ..net.topology import TopologyParams, TwoTierTree, build_two_tier
 from ..sim.engine import Simulator
 from ..tcp.timeouts import TimeoutKind
+from ..telemetry.tracer import Tracer, TraceRecord
 from ..workloads.background import BackgroundTraffic
 from ..workloads.incast import IncastConfig, IncastWorkload
 from ..workloads.protocols import ProtocolSpec, spec_for
 
 #: Bumped whenever the on-disk result encoding changes shape; part of the
 #: cache key so stale entries from older encodings never decode.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 Overrides = Tuple[Tuple[str, object], ...]
 
@@ -64,6 +65,10 @@ class ScenarioSpec:
     fault_overrides: Overrides = ()
     with_background: bool = False
     sample_queue: bool = False
+    #: record telemetry trace events (repro.telemetry.Tracer) during the
+    #: run; the tracer schedules no events, so results are identical to an
+    #: untraced run apart from the ``trace_events`` payload.
+    trace: bool = False
     max_events: int = 400_000_000
 
     @classmethod
@@ -82,6 +87,7 @@ class ScenarioSpec:
         fault_overrides: Optional[Mapping[str, object]] = None,
         with_background: bool = False,
         sample_queue: bool = False,
+        trace: bool = False,
         max_events: int = 400_000_000,
     ) -> "ScenarioSpec":
         """Build a spec from the kwargs the figure drivers historically used.
@@ -108,6 +114,7 @@ class ScenarioSpec:
             fault_overrides=_freeze(fault_overrides),
             with_background=with_background,
             sample_queue=sample_queue,
+            trace=trace,
             max_events=max_events,
         )
 
@@ -181,6 +188,10 @@ class PointResult:
     bad_rounds: int
     flow_stats: List[FlowStats] = field(default_factory=list)
     queue_samples_bytes: List[int] = field(default_factory=list)
+    #: Telemetry records captured when the spec asked for tracing (empty
+    #: otherwise); serialized with the result, so cached runs keep their
+    #: telemetry.
+    trace_events: List[TraceRecord] = field(default_factory=list)
     #: Mean long-flow throughput when the scenario ran with background
     #: traffic; ``None`` otherwise.
     bg_throughput_mbps: Optional[float] = None
@@ -214,6 +225,7 @@ class PointResult:
             bad_rounds=sum(r.bad_rounds for r in results),
             flow_stats=[fs for r in results for fs in r.flow_stats],
             queue_samples_bytes=[q for r in results for q in r.queue_samples_bytes],
+            trace_events=[e for r in results for e in r.trace_events],
             bg_throughput_mbps=sum(bg) / len(bg) if bg else None,
             events_processed=sum(r.events_processed for r in results),
             wall_time_s=sum(r.wall_time_s for r in results),
@@ -232,6 +244,7 @@ class PointResult:
             "bad_rounds": self.bad_rounds,
             "flow_stats": [_flowstats_to_dict(fs) for fs in self.flow_stats],
             "queue_samples_bytes": list(self.queue_samples_bytes),
+            "trace_events": [list(e) for e in self.trace_events],
             "bg_throughput_mbps": self.bg_throughput_mbps,
             "events_processed": self.events_processed,
             "wall_time_s": self.wall_time_s,
@@ -250,6 +263,7 @@ class PointResult:
             bad_rounds=data["bad_rounds"],
             flow_stats=[_flowstats_from_dict(d) for d in data["flow_stats"]],
             queue_samples_bytes=list(data["queue_samples_bytes"]),
+            trace_events=[TraceRecord(*row) for row in data.get("trace_events", [])],
             bg_throughput_mbps=data["bg_throughput_mbps"],
             events_processed=data["events_processed"],
             wall_time_s=data["wall_time_s"],
@@ -310,7 +324,9 @@ def _apply_faults(sim: Simulator, tree: TwoTierTree, fault_overrides: Overrides)
     port.link = make_lossy(port.link, policy)
 
 
-def run_scenario(spec: ScenarioSpec, validate: Optional[bool] = None) -> PointResult:
+def run_scenario(
+    spec: ScenarioSpec, validate: Optional[bool] = None, profiler=None
+) -> PointResult:
     """Simulate one :class:`ScenarioSpec` and return its :class:`PointResult`.
 
     This is the worker function of the execution layer: it is a pure
@@ -321,10 +337,15 @@ def run_scenario(spec: ScenarioSpec, validate: Optional[bool] = None) -> PointRe
 
     ``validate`` attaches the :mod:`repro.validate` invariant checker for
     this run (``None`` defers to ``REPRO_VALIDATE``, so worker processes
-    inherit the choice through the environment).
+    inherit the choice through the environment).  ``spec.trace`` attaches a
+    :class:`~repro.telemetry.Tracer` whose records land in
+    ``PointResult.trace_events``; ``profiler`` accepts a
+    :class:`~repro.telemetry.EngineProfiler` for dispatch-loop timing
+    (local to this call — not part of the spec, so never cached).
     """
     started = time.perf_counter()
-    sim = Simulator(seed=spec.seed, validate=validate)
+    tracer = Tracer() if spec.trace else None
+    sim = Simulator(seed=spec.seed, validate=validate, tracer=tracer, profiler=profiler)
     events_before = sim.events_processed
     tree = build_two_tier(sim, spec.topology_params())
     if spec.fault_overrides:
@@ -374,6 +395,7 @@ def run_scenario(spec: ScenarioSpec, validate: Optional[bool] = None) -> PointRe
         bad_rounds=sum(1 for r in workload.rounds if r.timeouts > 0),
         flow_stats=flow_stats,
         queue_samples_bytes=queue_samples,
+        trace_events=list(tracer.records) if tracer is not None else [],
         bg_throughput_mbps=bg_throughput_mbps,
         events_processed=sim.events_processed - events_before,
         wall_time_s=time.perf_counter() - started,

@@ -1,5 +1,17 @@
-"""``python -m repro.experiments`` entry point."""
+"""Deprecated entry point: use ``python -m repro experiments``.
+
+Kept as a thin forwarding shim so existing scripts and CI configurations
+keep working; the implementation lives in :mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import sys
 
 from .runner import main
 
+print(
+    "repro: 'python -m repro.experiments' is deprecated; use 'python -m repro experiments'",
+    file=sys.stderr,
+)
 raise SystemExit(main())

@@ -14,8 +14,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..metrics.cwnd_tracker import stack_state_shares
-from ..metrics.report import format_percent
+from ..telemetry.taxonomy import stack_state_row
 from .common import ExperimentResult, run_incast_batch
 
 EXPERIMENT_ID = "table1"
@@ -37,18 +36,7 @@ def run(
     rows = []
     for i, n in enumerate(n_values):
         dctcp, tcp = points[2 * i : 2 * i + 2]
-        d = stack_state_shares(dctcp.flow_stats)
-        t = stack_state_shares(tcp.flow_stats)
-        rows.append(
-            [
-                f"N={n}",
-                format_percent(d.cwnd2_ece1_share),
-                format_percent(d.timeout_share),
-                format_percent(t.timeout_share),
-                format_percent(d.floss_share),
-                format_percent(d.lack_share),
-            ]
-        )
+        rows.append([f"N={n}"] + stack_state_row(dctcp.flow_stats, tcp.flow_stats))
     return ExperimentResult(
         EXPERIMENT_ID,
         TITLE,

@@ -1,6 +1,7 @@
 """Instrumentation: per-flow stats, queue sampling, cwnd histograms, tables."""
 
 from .cwnd_tracker import (
+    CwndTracker,
     StackStateShares,
     cwnd_frequency,
     merged_cwnd_histogram,
@@ -15,6 +16,7 @@ from .timeline import SAMPLED_FIELDS, FlowTracer, TraceEvent
 
 __all__ = [
     "FlowStats",
+    "CwndTracker",
     "QueueSampler",
     "DEFAULT_SAMPLE_INTERVAL_NS",
     "StackStateShares",

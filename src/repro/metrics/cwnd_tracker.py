@@ -13,9 +13,10 @@ those snapshots into:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..tcp.timeouts import TimeoutKind
+from ..telemetry.collector import Collector
 from .flowstats import FlowStats
 
 
@@ -74,6 +75,44 @@ def stack_state_shares(stats: Iterable[FlowStats], incapable_cwnd_mss: int = 2) 
         transmissions=transmissions,
         timeouts=timeouts,
     )
+
+
+class CwndTracker(Collector):
+    """Pure-aggregation collector over per-flow cwnd snapshot histograms.
+
+    Unlike the periodic samplers this schedules nothing: the senders
+    already record a ``(cwnd, ECE)`` snapshot per transmission, so the
+    tracker just accumulates :class:`FlowStats` objects and renders the
+    Fig. 2 frequency distribution (plus Table I's shares) through the
+    shared :class:`~repro.telemetry.collector.Collector` surface.
+    """
+
+    def __init__(self, stats: Iterable[FlowStats] = ()):
+        self.flow_stats: List[FlowStats] = list(stats)
+
+    def add(self, stats: FlowStats) -> None:
+        self.flow_stats.append(stats)
+
+    def histogram(self) -> Dict[int, int]:
+        return merged_cwnd_histogram(self.flow_stats)
+
+    def frequency(self) -> Dict[int, float]:
+        return cwnd_frequency(self.flow_stats)
+
+    def shares(self, incapable_cwnd_mss: int = 2) -> StackStateShares:
+        return stack_state_shares(self.flow_stats, incapable_cwnd_mss)
+
+    # -- Collector surface ----------------------------------------------------
+    def schema(self) -> Tuple[str, ...]:
+        return ("cwnd_mss", "transmissions", "frequency")
+
+    def rows(self) -> List[Sequence]:
+        hist = self.histogram()
+        total = sum(hist.values())
+        return [
+            [cwnd, count, count / total if total else 0.0]
+            for cwnd, count in sorted(hist.items())
+        ]
 
 
 def timeout_fraction_by_kind(stats: Iterable[FlowStats]) -> Dict[str, int]:

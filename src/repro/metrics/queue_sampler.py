@@ -3,27 +3,28 @@
 The paper "collect[s] the instant queue length every 100us on Switch 1"
 (Fig. 9's CDFs, Fig. 14's time series).  :class:`QueueSampler` re-creates
 that probe: a repeating simulator event records the bottleneck port's
-backlog into a plain list, post-processed with numpy.
+backlog into a plain list, post-processed with numpy.  The repeating-event
+machinery (and its clear-handle-on-entry discipline) comes from the shared
+:class:`~repro.telemetry.collector.PeriodicCollector` base.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from ..net.port import OutputPort
 from ..sim.engine import Simulator
 from ..sim.units import US
+from ..telemetry.collector import PeriodicCollector
 from .stats import cdf_points
 
 DEFAULT_SAMPLE_INTERVAL_NS = 100 * US
 
 
-class QueueSampler:
+class QueueSampler(PeriodicCollector):
     """Samples one port's queue occupancy at a fixed interval."""
-
-    __slots__ = ("sim", "port", "interval_ns", "times_ns", "occupancy_bytes", "_event", "running")
 
     def __init__(
         self,
@@ -31,36 +32,14 @@ class QueueSampler:
         port: OutputPort,
         interval_ns: int = DEFAULT_SAMPLE_INTERVAL_NS,
     ):
-        if interval_ns <= 0:
-            raise ValueError(f"sample interval must be positive, got {interval_ns}")
-        self.sim = sim
+        super().__init__(sim, interval_ns)
         self.port = port
-        self.interval_ns = interval_ns
         self.times_ns: List[int] = []
         self.occupancy_bytes: List[int] = []
-        self._event = None
-        self.running = False
 
-    def start(self) -> None:
-        if self.running:
-            return
-        self.running = True
-        self._event = self.sim.schedule(0, self._tick)
-
-    def stop(self) -> None:
-        self.running = False
-        self.sim.cancel(self._event)
-        self._event = None
-
-    def _tick(self) -> None:
-        # Our own event just fired; drop the dead handle before any early
-        # return so stop() never cancels a recycled event.
-        self._event = None
-        if not self.running:
-            return
+    def _sample(self) -> None:
         self.times_ns.append(self.sim.now)
         self.occupancy_bytes.append(self.port.backlog_bytes)
-        self._event = self.sim.schedule(self.interval_ns, self._tick)
 
     # -- views ---------------------------------------------------------------
     @property
@@ -84,3 +63,13 @@ class QueueSampler:
     def percentile_bytes(self, q: float) -> float:
         arr = self.samples
         return float(np.percentile(arr, q)) if arr.size else 0.0
+
+    # -- Collector surface ----------------------------------------------------
+    def schema(self) -> Tuple[str, ...]:
+        return ("time_ns", "occupancy_bytes")
+
+    def rows(self) -> List[Sequence]:
+        return [
+            [t, occ]
+            for t, occ in zip(self.times_ns, self.occupancy_bytes)
+        ]

@@ -8,6 +8,12 @@ This is what the paper's Kprobes tracing produced, and what you want when
 debugging a new protocol variant ("show me this flow's cwnd over the
 round").
 
+``FlowTracer`` is a :class:`~repro.telemetry.collector.PeriodicCollector`,
+so the sampling-event lifecycle (start/stop, the clear-handle-on-entry
+rule that keeps a late ``stop()`` from cancelling a freelist-recycled
+event) lives in the shared base, and the tracer plugs into the telemetry
+exporters through ``schema()``/``rows()``.
+
 Usage::
 
     tracer = FlowTracer(sim, sender, interval_ns=100_000)
@@ -19,14 +25,15 @@ Usage::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..sim.engine import Simulator
 from ..sim.units import US
 from ..tcp.sender import TcpSender
+from ..telemetry.collector import PeriodicCollector
 
 #: fields captured at every sample tick
 SAMPLED_FIELDS = ("cwnd_mss", "ssthresh_mss", "flight_mss", "slow_time_us", "state")
@@ -43,7 +50,7 @@ class TraceEvent:
     detail: str = ""
 
 
-class FlowTracer:
+class FlowTracer(PeriodicCollector):
     """Samples one sender's stack variables on a fixed clock."""
 
     def __init__(
@@ -53,42 +60,18 @@ class FlowTracer:
         interval_ns: int = 100 * US,
         max_samples: int = 1_000_000,
     ):
-        if interval_ns <= 0:
-            raise ValueError("interval must be positive")
         if max_samples <= 0:
             raise ValueError("max_samples must be positive")
-        self.sim = sim
+        super().__init__(sim, interval_ns)
         self.sender = sender
-        self.interval_ns = interval_ns
         self.max_samples = max_samples
         self.times_ns: List[int] = []
         self.samples: Dict[str, List[float]] = {f: [] for f in SAMPLED_FIELDS}
         self.events: List[TraceEvent] = []
-        self._event = None
-        self.running = False
         self._last_counts = (0, 0, 0)
 
-    # -- control -----------------------------------------------------------
-    def start(self) -> None:
-        if self.running:
-            return
-        self.running = True
-        self._event = self.sim.schedule(0, self._tick)
-
-    def stop(self) -> None:
-        self.running = False
-        self.sim.cancel(self._event)
-        self._event = None
-
     # -- sampling ----------------------------------------------------------
-    def _tick(self) -> None:
-        # The event that invoked us has fired: its handle is dead, and the
-        # engine will recycle the object.  Clear it *before* any early
-        # return so a later stop() can never cancel whatever unrelated
-        # event ends up reusing the carcass.
-        self._event = None
-        if not self.running:
-            return
+    def _sample(self) -> None:
         sender = self.sender
         mss = sender.config.mss
         self.times_ns.append(self.sim.now)
@@ -103,10 +86,9 @@ class FlowTracer:
             self.samples["slow_time_us"].append(0.0)
             self.samples["state"].append(0)
         self._capture_events()
-        if len(self.times_ns) < self.max_samples:
-            self._event = self.sim.schedule(self.interval_ns, self._tick)
-        else:
-            self.running = False
+
+    def _exhausted(self) -> bool:
+        return len(self.times_ns) >= self.max_samples
 
     def _capture_events(self) -> None:
         """Diff the sender's counters to emit discrete events."""
@@ -138,6 +120,16 @@ class FlowTracer:
 
     def events_of(self, kind: str) -> List[TraceEvent]:
         return [e for e in self.events if e.kind == kind]
+
+    # -- Collector surface ----------------------------------------------------
+    def schema(self) -> Tuple[str, ...]:
+        return ("time_us",) + SAMPLED_FIELDS
+
+    def rows(self) -> List[Sequence]:
+        return [
+            [t / 1000.0] + [self.samples[f][i] for f in SAMPLED_FIELDS]
+            for i, t in enumerate(self.times_ns)
+        ]
 
     def to_csv(self) -> str:
         """Render the sampled series as CSV (time in us, one row per tick)."""

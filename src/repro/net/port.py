@@ -64,9 +64,9 @@ class OutputPort:
         self._backlog = queue._queue
         self._schedule = sim.schedule
         self.link = link  # property: also binds the link fast paths
-        checker = sim.checker
-        if checker is not None:
-            checker.register_port(self)
+        hooks = sim.hooks
+        if hooks is not None:
+            hooks.port_created(self)
 
     @property
     def link(self) -> Link:

@@ -31,8 +31,11 @@ class DropTailQueue:
         Mark incoming ECT packets CE when current occupancy (before the new
         packet is admitted) is at or above this threshold.  ``None`` disables
         marking (plain drop-tail, used for host NIC queues).
-    on_drop / on_mark:
-        Optional instrumentation callbacks invoked with the packet.
+    on_drop / on_mark / on_enqueue:
+        Optional instrumentation callbacks invoked with the packet
+        (``on_enqueue`` fires after a successful admit, once occupancy
+        reflects the new packet; the telemetry layer's queue
+        high-watermark tracking hangs off it).
     """
 
     __slots__ = (
@@ -49,6 +52,7 @@ class DropTailQueue:
         "dropped_bytes",
         "on_drop",
         "on_mark",
+        "on_enqueue",
     )
 
     def __init__(
@@ -57,6 +61,7 @@ class DropTailQueue:
         ecn_threshold_bytes: Optional[int] = DEFAULT_ECN_THRESHOLD,
         on_drop: Optional[Callable[[Packet], None]] = None,
         on_mark: Optional[Callable[[Packet], None]] = None,
+        on_enqueue: Optional[Callable[[Packet], None]] = None,
     ):
         if capacity_bytes <= 0:
             raise ValueError(f"queue capacity must be positive, got {capacity_bytes}")
@@ -75,6 +80,7 @@ class DropTailQueue:
         self.dropped_bytes = 0
         self.on_drop = on_drop
         self.on_mark = on_mark
+        self.on_enqueue = on_enqueue
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -108,6 +114,8 @@ class DropTailQueue:
         self.occupancy_bytes = occupancy + wire_bytes
         self.enqueued_packets += 1
         self.enqueued_bytes += wire_bytes
+        if self.on_enqueue is not None:
+            self.on_enqueue(packet)
         return True
 
     def dequeue(self) -> Optional[Packet]:

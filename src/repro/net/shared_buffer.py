@@ -96,9 +96,9 @@ class SharedBufferSwitch(Node):
         # is O(1) instead of summing every port; the validate layer
         # cross-checks it against the per-port sum.
         self._pool_occupancy = 0
-        checker = sim.checker
-        if checker is not None:
-            checker.register_switch(self)
+        hooks = sim.hooks
+        if hooks is not None:
+            hooks.switch_created(self)
 
     @property
     def pool_occupancy_bytes(self) -> int:

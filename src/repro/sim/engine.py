@@ -47,6 +47,21 @@ class Simulator:
         validated dispatch loop sweeps while running.  ``None`` (default)
         consults the ``REPRO_VALIDATE`` environment variable; ``False``
         leaves ``checker`` as ``None`` and the hot path untouched.
+    tracer:
+        Attach a :class:`repro.telemetry.Tracer` recording typed event
+        records from the component hook points.  The tracer schedules no
+        events, so event counts and digests match untraced runs exactly.
+    profiler:
+        Attach a :class:`repro.telemetry.EngineProfiler`; dispatch then
+        runs through a (slower) timing loop attributing wall time per
+        callback kind.  Ignored while a checker is attached (the validated
+        loop takes priority).
+
+    ``checker`` and ``tracer`` both observe the simulation through one
+    :class:`repro.telemetry.HookRegistry` (``self.hooks``); components
+    announce themselves to it at construction.  ``hooks`` is ``None`` when
+    neither observer is active, so the plain path pays exactly one
+    attribute test per component construction and nothing per event.
     """
 
     __slots__ = (
@@ -54,6 +69,9 @@ class Simulator:
         "queue",
         "rng",
         "checker",
+        "tracer",
+        "profiler",
+        "hooks",
         "_running",
         "events_processed",
         "_sequence",
@@ -62,7 +80,13 @@ class Simulator:
         "_stop",
     )
 
-    def __init__(self, seed: int = 0, validate: Optional[bool] = None):
+    def __init__(
+        self,
+        seed: int = 0,
+        validate: Optional[bool] = None,
+        tracer=None,
+        profiler=None,
+    ):
         self.now: int = 0
         self.queue = EventQueue()
         self.rng = RngRegistry(seed)
@@ -84,6 +108,22 @@ class Simulator:
             self.checker = InvariantChecker(self)
         else:
             self.checker = None
+        self.tracer = tracer
+        self.profiler = profiler
+        if tracer is not None or self.checker is not None:
+            # One fan-out point for every observer; lazy import keeps the
+            # unobserved path free of the telemetry layer entirely.
+            from ..telemetry.hooks import HookRegistry
+
+            hooks = HookRegistry()
+            if self.checker is not None:
+                hooks.subscribe(self.checker)
+            if tracer is not None:
+                tracer.bind(self)
+                hooks.subscribe(tracer)
+            self.hooks = hooks
+        else:
+            self.hooks = None
 
     def next_sequence(self) -> int:
         """Per-simulation monotonically increasing id.
@@ -195,6 +235,8 @@ class Simulator:
         """
         if self.checker is not None:
             return self._run_validated(until, max_events, stop_when)
+        if self.profiler is not None:
+            return self._run_profiled(until, max_events, stop_when)
         queue = self.queue
         # The dispatch loop works on the queue's raw heap (same entry
         # layout as EventQueue.pop) so each event costs one tuple unpack
@@ -332,6 +374,89 @@ class Simulator:
             self._running = False
             self.events_processed += processed
         checker.sweep()
+        if until is not None and self.now < until and queue.peek_time() is None:
+            self.now = until
+        return processed
+
+    def _run_profiled(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Dispatch loop used when an :class:`EngineProfiler` is attached.
+
+        Semantically identical to :meth:`run` — same ordering, same stop
+        conditions, same freelist recycling, same ``events_processed``
+        accounting — but each callback is timed and attributed to its
+        ``__qualname__`` in the profiler.  The timing itself perturbs
+        nothing the simulation can observe.
+        """
+        from time import perf_counter
+
+        queue = self.queue
+        heap = queue._heap
+        free = queue._free
+        free_append = free.append
+        profiler = self.profiler
+        counts = profiler.counts
+        times = profiler.times_s
+        processed = 0
+        self._running = True
+        self._stop = False
+        wall_started = perf_counter()
+        try:
+            while True:
+                if max_events is not None and processed >= max_events:
+                    break
+                ev = None
+                while heap:
+                    entry = heap[0]
+                    ev = entry[2]
+                    if ev.cancelled:
+                        heappop(heap)
+                        if len(free) < FREELIST_MAX:
+                            free_append(ev)
+                        ev = None
+                        continue
+                    deadline = ev.deadline
+                    ev_time = entry[0]
+                    if deadline > ev_time:
+                        ev.time = deadline
+                        ev.seq = ev._dseq
+                        heapreplace(heap, (deadline, ev._dseq, ev))
+                        ev = None
+                        continue
+                    break
+                if ev is None:
+                    break
+                if until is not None and ev_time > until:
+                    self.now = until
+                    break
+                heappop(heap)
+                ev.deadline = -1
+                queue._live -= 1
+                self.now = ev_time
+                callback = ev.callback
+                started = perf_counter()
+                callback(*ev.args)
+                elapsed = perf_counter() - started
+                kind = getattr(callback, "__qualname__", None) or type(callback).__name__
+                counts[kind] = counts.get(kind, 0) + 1
+                times[kind] = times.get(kind, 0.0) + elapsed
+                processed += 1
+                if len(free) < FREELIST_MAX:
+                    ev.callback = _noop
+                    ev.args = ()
+                    free_append(ev)
+                if self._stop:
+                    break
+                if stop_when is not None and stop_when():
+                    break
+        finally:
+            self._running = False
+            self.events_processed += processed
+            profiler.record_run(processed, perf_counter() - wall_started)
         if until is not None and self.now < until and queue.peek_time() is None:
             self.now = until
         return processed

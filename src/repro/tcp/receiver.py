@@ -66,9 +66,9 @@ class TcpReceiver:
         self.ce_packets_received = 0
         self.closed = False
         host.register_flow(flow_id, self)
-        checker = sim.checker
-        if checker is not None:
-            checker.register_receiver(self)
+        hooks = sim.hooks
+        if hooks is not None:
+            hooks.receiver_created(self)
 
     def expect(self, additional_bytes: int) -> None:
         """Raise the completion target (a new request on a persistent

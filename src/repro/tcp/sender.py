@@ -96,9 +96,12 @@ class TcpSender:
         self.pacer: Optional[Pacer] = None
 
         host.register_flow(flow_id, self)
-        checker = sim.checker
-        if checker is not None:
-            checker.register_sender(self)
+        #: bound once; rare-path emits (RTO, retransmit) test it for None,
+        #: which is the only tracing cost an untraced sender ever pays.
+        self._tracer = sim.tracer
+        hooks = sim.hooks
+        if hooks is not None:
+            hooks.sender_created(self)
 
     # ------------------------------------------------------------------ app API
     def send(self, nbytes: int) -> None:
@@ -229,6 +232,8 @@ class TcpSender:
             # Karn: retransmitted segments are never RTT-sampled.
             self._segment_send_time.pop(seq, None)
             self.stats.retransmitted_packets += 1
+            if self._tracer is not None:
+                self._tracer.retransmitted(self, seq)
         else:
             self._segment_send_time[seq] = now
         self.stats.data_packets_sent += 1
@@ -381,6 +386,8 @@ class TcpSender:
             return
         kind = classify_timeout(self._acks_since_timer_armed)
         self.stats.record_timeout(self.sim.now, kind)
+        if self._tracer is not None:
+            self._tracer.rto_fired(self, kind)
         # CA_Loss analogue: everything up to the pre-timeout high-water mark
         # is now a retransmission; recovery lasts until it is all ACKed.
         # The mark never moves down: a back-to-back RTO fires with snd_nxt

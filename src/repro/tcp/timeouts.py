@@ -25,6 +25,18 @@ class TimeoutKind(Enum):
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
+    @classmethod
+    def from_label(cls, label: str) -> "TimeoutKind":
+        """Parse a taxonomy label ("FLoss-TO" / "LAck-TO") back to a kind.
+
+        Trace records carry the label (the ``detail`` column of ``rto``
+        events), so the telemetry layer round-trips through this.
+        """
+        for kind in cls:
+            if kind.value == label:
+                return kind
+        raise ValueError(f"unknown timeout label {label!r}")
+
 
 def classify_timeout(acks_heard_since_armed: int) -> TimeoutKind:
     """Classify an expired RTO from the sender's ACK bookkeeping.

@@ -1,0 +1,48 @@
+"""repro.telemetry — the unified tracing/metrics subsystem.
+
+One observability layer shared by experiments, bench and fuzz runs:
+
+- :class:`Tracer` + :class:`TraceRecord` — typed, append-only event
+  records (drops, marks, retransmits, RTOs with FLoss/LAck classification,
+  slow_time machine activity, queue high-watermarks) fed by cheap engine
+  hook points; strictly zero-cost when tracing is off.
+- :class:`HookRegistry` — the single fan-out point those hook points talk
+  to; the invariant checker and the tracer are both plain subscribers.
+- :class:`Collector` / :class:`PeriodicCollector` — the lifecycle + export
+  protocol every probe (FlowTracer, QueueSampler, CwndTracker) shares.
+- :class:`EngineProfiler` — opt-in dispatch-loop profiling by event kind.
+- :mod:`repro.telemetry.export` — JSONL trace streams and CSV summaries.
+- :mod:`repro.telemetry.taxonomy` — timeout-taxonomy / queue-occupancy
+  analysis (``python -m repro trace`` reports through it).
+"""
+
+from .collector import Collector, PeriodicCollector
+from .export import read_jsonl, records_from_jsonl, records_to_jsonl, write_csv, write_jsonl
+from .hooks import HookRegistry
+from .profiler import EngineProfiler
+from .taxonomy import (
+    queue_occupancy_summary,
+    stack_state_row,
+    timeout_taxonomy,
+    timeout_taxonomy_from_stats,
+)
+from .tracer import EVENT_KINDS, Tracer, TraceRecord
+
+__all__ = [
+    "Tracer",
+    "TraceRecord",
+    "EVENT_KINDS",
+    "HookRegistry",
+    "Collector",
+    "PeriodicCollector",
+    "EngineProfiler",
+    "records_to_jsonl",
+    "records_from_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+    "write_csv",
+    "timeout_taxonomy",
+    "timeout_taxonomy_from_stats",
+    "stack_state_row",
+    "queue_occupancy_summary",
+]

@@ -1,0 +1,113 @@
+"""The Collector protocol: one lifecycle + export surface for every probe.
+
+A collector is anything that accumulates measurements over a run and can
+dump them as tabular rows: ``attach()`` begins collection, ``detach()``
+ends it, ``schema()`` names the columns and ``rows()`` yields the data.
+:class:`~repro.metrics.timeline.FlowTracer`,
+:class:`~repro.metrics.queue_sampler.QueueSampler` and
+:class:`~repro.metrics.cwnd_tracker.CwndTracker` all implement it, so the
+exporters in :mod:`repro.telemetry.export` (and anything else that walks
+collectors) need exactly one code path.
+
+:class:`PeriodicCollector` additionally owns the repeating-simulator-event
+machinery that the samplers used to duplicate — including the subtle
+clear-handle-on-entry rule: the event that invoked ``_tick`` has fired and
+its handle is dead, so the handle is dropped *before* any early return;
+otherwise a later ``detach()`` could cancel whatever unrelated event the
+engine's freelist recycled the carcass into.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..sim.engine import Simulator
+
+
+class Collector:
+    """Base protocol: lifecycle no-ops plus schema-driven CSV rendering."""
+
+    def attach(self) -> None:
+        """Begin collecting (no-op for pure aggregation collectors)."""
+
+    def detach(self) -> None:
+        """Stop collecting (no-op for pure aggregation collectors)."""
+
+    def schema(self) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    def rows(self) -> List[Sequence]:
+        raise NotImplementedError
+
+    def to_csv(self) -> str:
+        """Render ``schema`` + ``rows`` as CSV text."""
+        lines = [",".join(self.schema())]
+        for row in self.rows():
+            lines.append(",".join(_csv_cell(cell) for cell in row))
+        return "\n".join(lines)
+
+
+def _csv_cell(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+class PeriodicCollector(Collector):
+    """A collector driven by a repeating simulator event.
+
+    Subclasses implement :meth:`_sample` (record one observation at
+    ``sim.now``) and may override :meth:`_exhausted` to stop early (e.g. a
+    sample-count bound).  The first sample lands at the current simulation
+    time, then every ``interval_ns`` after it.
+    """
+
+    def __init__(self, sim: "Simulator", interval_ns: int):
+        if interval_ns <= 0:
+            raise ValueError(f"sample interval must be positive, got {interval_ns}")
+        self.sim = sim
+        self.interval_ns = interval_ns
+        self._event = None
+        self.running = False
+
+    # -- lifecycle ---------------------------------------------------------------
+    def attach(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._event = self.sim.schedule(0, self._tick)
+
+    def detach(self) -> None:
+        self.running = False
+        self.sim.cancel(self._event)
+        self._event = None
+
+    # Historical spelling, kept as the primary user-facing API.
+    def start(self) -> None:
+        self.attach()
+
+    def stop(self) -> None:
+        self.detach()
+
+    # -- sampling ----------------------------------------------------------------
+    def _tick(self) -> None:
+        # The event that invoked us has fired: its handle is dead, and the
+        # engine will recycle the object.  Clear it *before* any early
+        # return so a later detach() can never cancel whatever unrelated
+        # event ends up reusing the carcass.
+        self._event = None
+        if not self.running:
+            return
+        self._sample()
+        if self._exhausted():
+            self.running = False
+            return
+        self._event = self.sim.schedule(self.interval_ns, self._tick)
+
+    def _sample(self) -> None:
+        raise NotImplementedError
+
+    def _exhausted(self) -> bool:
+        """Override to stop sampling after a bound (checked post-sample)."""
+        return False

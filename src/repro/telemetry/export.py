@@ -1,0 +1,73 @@
+"""Exporters: JSONL trace streams and CSV summaries.
+
+Two formats, one rule each:
+
+- **JSONL** — one :class:`~repro.telemetry.tracer.TraceRecord` per line as
+  a JSON object with stable key order (``time_ns, kind, subject, value,
+  detail``).  Line-oriented so traces stream, diff, and grep well; the
+  golden-trace test pins the exact bytes for a small scenario.
+- **CSV** — any :class:`~repro.telemetry.collector.Collector` (something
+  with ``schema()`` + ``rows()``) renders via its shared ``to_csv``.
+
+Round-trip: :func:`read_jsonl` parses what :func:`write_jsonl` wrote back
+into records, so cached traces can be re-analyzed without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, List, Union
+
+from .collector import Collector
+from .tracer import TraceRecord
+
+
+def records_to_jsonl(records: Iterable[TraceRecord]) -> str:
+    """Serialize records as JSON Lines text (trailing newline included)."""
+    lines = []
+    for r in records:
+        lines.append(
+            json.dumps(
+                {
+                    "time_ns": r.time_ns,
+                    "kind": r.kind,
+                    "subject": r.subject,
+                    "value": r.value,
+                    "detail": r.detail,
+                },
+                separators=(",", ":"),
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def records_from_jsonl(text: str) -> List[TraceRecord]:
+    """Parse JSON Lines text back into records."""
+    records = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        records.append(
+            TraceRecord(obj["time_ns"], obj["kind"], obj["subject"], obj["value"], obj["detail"])
+        )
+    return records
+
+
+def write_jsonl(path: Union[str, os.PathLike], records: Iterable[TraceRecord]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(records_to_jsonl(records))
+
+
+def read_jsonl(path: Union[str, os.PathLike]) -> List[TraceRecord]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return records_from_jsonl(fh.read())
+
+
+def write_csv(path: Union[str, os.PathLike], collector: Collector) -> None:
+    """Write any Collector's schema + rows as a CSV file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(collector.to_csv())
+        fh.write("\n")

@@ -1,0 +1,70 @@
+"""Opt-in engine profiling: dispatch-loop time broken down by event kind.
+
+An :class:`EngineProfiler` handed to the :class:`~repro.sim.engine.Simulator`
+switches the engine onto a timing dispatch loop that attributes wall time
+to each callback kind (keyed by ``__qualname__``, e.g.
+``OutputPort._finish_tx``).  Semantics are identical to the plain loop —
+same ordering, same event counts — only slower, so profiled runs are for
+finding where the engine spends its time, never for gating results.
+
+``repro.bench --profile`` and ``python -m repro trace --profile`` report
+through this; the numbers export via the shared Collector surface
+(:meth:`schema` / :meth:`rows` / :meth:`to_csv`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .collector import Collector
+
+
+class EngineProfiler(Collector):
+    """Accumulates per-callback-kind dispatch counts and seconds."""
+
+    __slots__ = ("counts", "times_s", "events", "wall_s")
+
+    def __init__(self):
+        self.counts: Dict[str, int] = {}
+        self.times_s: Dict[str, float] = {}
+        self.events = 0
+        self.wall_s = 0.0
+
+    # -- engine feed -------------------------------------------------------------
+    def record_run(self, events: int, wall_s: float) -> None:
+        """Called by the profiled dispatch loop after each run() returns."""
+        self.events += events
+        self.wall_s += wall_s
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    # -- Collector surface -------------------------------------------------------
+    def schema(self) -> Tuple[str, ...]:
+        return ("kind", "events", "total_s", "mean_us", "share")
+
+    def rows(self) -> List[Tuple[str, int, float, float, float]]:
+        """One row per callback kind, heaviest total time first."""
+        total = sum(self.times_s.values()) or 1.0
+        out = []
+        for kind, seconds in sorted(self.times_s.items(), key=lambda kv: -kv[1]):
+            count = self.counts[kind]
+            out.append(
+                (kind, count, seconds, seconds / count * 1e6 if count else 0.0, seconds / total)
+            )
+        return out
+
+    def report(self) -> str:
+        """Human-readable table (the --profile output)."""
+        lines = [
+            f"{self.events} events in {self.wall_s:.3f}s "
+            f"({self.events_per_sec:,.0f} events/s)",
+            f"{'kind':<40} {'events':>10} {'total_s':>9} {'mean_us':>8} {'share':>6}",
+        ]
+        for kind, count, seconds, mean_us, share in self.rows():
+            lines.append(f"{kind:<40} {count:>10} {seconds:>9.3f} {mean_us:>8.2f} {share:>6.1%}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EngineProfiler({self.events} events, {self.wall_s:.3f}s)"

@@ -1,13 +1,16 @@
 """The invariant checker: conservation laws swept while a simulation runs.
 
-Components self-register at construction when their simulator carries a
-checker (``sim.checker is not None`` — the *only* cost paid on the normal,
-unvalidated path).  The engine's validated dispatch loop then calls
-:meth:`InvariantChecker.check_dispatch_time` per event and
-:meth:`InvariantChecker.sweep` every ``sweep_every`` events; sweeps are
-plain in-loop calls, never scheduled events, so validated runs process the
-exact same event sequence as unvalidated ones and produce identical
-results.
+The checker is a subscriber of the shared
+:class:`repro.telemetry.hooks.HookRegistry`: components announce
+themselves to ``sim.hooks`` at construction (``sim.hooks is not None`` —
+the *only* cost paid on the normal, unobserved path) and the registry
+fans the lifecycle and per-queue drop/mark events out to the checker, the
+tracer, or both — no parallel callback chains.  The engine's validated
+dispatch loop then calls :meth:`InvariantChecker.check_dispatch_time` per
+event and :meth:`InvariantChecker.sweep` every ``sweep_every`` events;
+sweeps are plain in-loop calls, never scheduled events, so validated runs
+process the exact same event sequence as unvalidated ones and produce
+identical results.
 
 Checked invariants
 ------------------
@@ -17,8 +20,8 @@ Per queue (every switch port and host NIC):
 - byte conservation: ``enqueued_bytes == dequeued_bytes + occupancy``
 - occupancy within ``[0, capacity]``
 - drops and ECN marks counted exactly once (cross-checked against an
-  independent count taken in the queue's ``on_drop`` / ``on_mark``
-  callbacks)
+  independent count taken from the hook registry's ``queue_dropped`` /
+  ``queue_marked`` events)
 - marks only issued when the instantaneous occupancy exceeds K
 
 Per port: the egress pump holds at most one in-flight frame
@@ -44,7 +47,7 @@ the first broken account is the one closest to the bug).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from ..core.state_machine import SlowTimeStateMachine
@@ -69,10 +72,11 @@ class InvariantViolation(AssertionError):
 class _QueueRecord:
     """One monitored queue plus independent drop/mark counts.
 
-    The independent counts come from the queue's own ``on_drop`` /
-    ``on_mark`` callbacks (chained, so user instrumentation still fires)
-    and are compared against the queue's counters at every sweep — a
-    mutation that double-counts or skips a drop shows up as a mismatch.
+    The independent counts come from the hook registry's ``queue_dropped``
+    / ``queue_marked`` events (the registry chains over the queue's
+    callback slots, so user instrumentation still fires) and are compared
+    against the queue's counters at every sweep — a mutation that
+    double-counts or skips a drop shows up as a mismatch.
     """
 
     __slots__ = ("queue", "name", "drops_seen", "marks_seen")
@@ -96,6 +100,7 @@ class InvariantChecker:
         "_switches",
         "_senders",
         "_receivers",
+        "_record_by_queue",
         "_last_dispatch_ns",
     )
 
@@ -108,12 +113,15 @@ class InvariantChecker:
         self._switches: List["SharedBufferSwitch"] = []
         self._senders: List["TcpSender"] = []
         self._receivers: Dict[int, "TcpReceiver"] = {}
+        self._record_by_queue: Dict["DropTailQueue", _QueueRecord] = {}
         self._last_dispatch_ns = 0
 
-    # -- registration (called from component constructors) ---------------------
+    # -- registration (dispatched by the shared HookRegistry) -------------------
     def register_port(self, port: "OutputPort") -> None:
         self._ports.append(port)
-        self._watch_queue(port.queue, port.name or f"port#{len(self._ports)}")
+        record = _QueueRecord(port.queue, port.name or f"port#{len(self._ports)}")
+        self._queues.append(record)
+        self._record_by_queue[port.queue] = record
 
     def register_switch(self, switch: "SharedBufferSwitch") -> None:
         """Shared-buffer switches: pool accounting is cross-checked too.
@@ -143,41 +151,22 @@ class InvariantChecker:
 
         machine.observer = _on_enter_time_inc
 
-    def _watch_queue(self, queue: "DropTailQueue", name: str) -> None:
-        record = _QueueRecord(queue, name)
-        self._queues.append(record)
-        queue.on_drop = self._chain_drop(record, queue.on_drop)
-        queue.on_mark = self._chain_mark(record, queue.on_mark)
+    # -- queue events (dispatched by the shared HookRegistry) -------------------
+    def queue_dropped(self, queue: "DropTailQueue", name: str, packet: "Packet") -> None:
+        self._record_by_queue[queue].drops_seen += 1
 
-    def _chain_drop(
-        self, record: _QueueRecord, prev: Optional[Callable[["Packet"], None]]
-    ) -> Callable[["Packet"], None]:
-        def _on_drop(packet: "Packet") -> None:
-            record.drops_seen += 1
-            if prev is not None:
-                prev(packet)
-
-        return _on_drop
-
-    def _chain_mark(
-        self, record: _QueueRecord, prev: Optional[Callable[["Packet"], None]]
-    ) -> Callable[["Packet"], None]:
-        def _on_mark(packet: "Packet") -> None:
-            record.marks_seen += 1
-            queue = record.queue
-            threshold = queue.ecn_threshold_bytes
-            # on_mark fires before admission, so occupancy_bytes is the
-            # instantaneous queue length the marking decision saw.
-            if threshold is None or queue.occupancy_bytes <= threshold:
-                self._fail(
-                    f"queue {record.name}: CE mark at occupancy "
-                    f"{queue.occupancy_bytes}B, not above K="
-                    f"{threshold if threshold is not None else 'disabled'}"
-                )
-            if prev is not None:
-                prev(packet)
-
-        return _on_mark
+    def queue_marked(self, queue: "DropTailQueue", name: str, packet: "Packet") -> None:
+        record = self._record_by_queue[queue]
+        record.marks_seen += 1
+        threshold = queue.ecn_threshold_bytes
+        # Marking fires before admission, so occupancy_bytes is the
+        # instantaneous queue length the marking decision saw.
+        if threshold is None or queue.occupancy_bytes <= threshold:
+            self._fail(
+                f"queue {record.name}: CE mark at occupancy "
+                f"{queue.occupancy_bytes}B, not above K="
+                f"{threshold if threshold is not None else 'disabled'}"
+            )
 
     # -- engine hooks ------------------------------------------------------------
     def check_dispatch_time(self, time_ns: int) -> None:

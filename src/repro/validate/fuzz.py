@@ -103,6 +103,10 @@ def draw_spec(seed: int) -> ScenarioSpec:
         topo=topo,
         fault_overrides=fault,
         with_background=rng.random() < 0.25,
+        # A quarter of draws run with the telemetry tracer attached; the
+        # differential checks then prove tracing never perturbs results
+        # (the tracer schedules no events and draws no randomness).
+        trace=rng.random() < 0.25,
     )
 
 
@@ -313,4 +317,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":
+    print(
+        "repro: 'python -m repro.validate.fuzz' is deprecated; use 'python -m repro fuzz'",
+        file=sys.stderr,
+    )
     sys.exit(main())

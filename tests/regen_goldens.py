@@ -1,8 +1,9 @@
-"""Regenerate ``tests/golden/digests.json`` from the current code.
+"""Regenerate the committed golden files from the current code.
 
 Run only when a behaviour change is intentional::
 
-    PYTHONPATH=src python tests/regen_goldens.py
+    PYTHONPATH=src python tests/regen_goldens.py           # digests.json
+    PYTHONPATH=src python tests/regen_goldens.py --trace   # + golden trace
 """
 
 from __future__ import annotations
@@ -17,7 +18,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 from golden_specs import TINY_KWARGS, digest_experiment  # noqa: E402
 
 
-def main() -> None:
+def regen_digests() -> None:
     digests = {}
     for experiment_id in TINY_KWARGS:
         started = time.perf_counter()
@@ -32,5 +33,19 @@ def main() -> None:
     print(f"wrote {out}")
 
 
+def regen_trace() -> None:
+    from test_trace_golden import GOLDEN_PATH, golden_trace_jsonl
+
+    text = golden_trace_jsonl()
+    Path(GOLDEN_PATH).write_text(text, encoding="utf-8", newline="")
+    print(f"wrote {GOLDEN_PATH} ({len(text.splitlines())} records)")
+
+
+def main(argv) -> None:
+    regen_digests()
+    if "--trace" in argv:
+        regen_trace()
+
+
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1:])

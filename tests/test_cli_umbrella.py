@@ -1,0 +1,128 @@
+"""The ``python -m repro`` umbrella CLI and the deprecated entry points."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main as umbrella_main
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+def _run_module(module, *args):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    return subprocess.run(
+        [sys.executable, "-m", module, *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+
+
+# -- umbrella dispatch ------------------------------------------------------------
+def test_help_lists_every_command(capsys):
+    assert umbrella_main(["--help"]) == 0
+    out = capsys.readouterr().out
+    for command in ("experiments", "bench", "fuzz", "trace"):
+        assert command in out
+
+
+def test_version_flag(capsys):
+    import repro
+
+    assert umbrella_main(["--version"]) == 0
+    assert repro.__version__ in capsys.readouterr().out
+
+
+def test_missing_command_fails(capsys):
+    assert umbrella_main([]) == 2
+    assert "missing command" in capsys.readouterr().err
+
+
+def test_unknown_command_fails(capsys):
+    assert umbrella_main(["frobnicate"]) == 2
+    assert "unknown command" in capsys.readouterr().err
+
+
+def test_global_flag_requires_value(capsys):
+    assert umbrella_main(["--workers"]) == 2
+    assert umbrella_main(["--workers", "zero"]) == 2
+
+
+def test_bench_list_via_umbrella(capsys):
+    assert umbrella_main(["bench", "--list"]) == 0
+    assert "incast-dctcp-n64" in capsys.readouterr().out
+
+
+def test_experiments_list_via_umbrella(capsys):
+    assert umbrella_main(["experiments", "--list"]) == 0
+    assert "table1" in capsys.readouterr().out
+
+
+def test_workers_and_cache_dir_become_env(tmp_path, capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    cache = str(tmp_path / "cache")
+    assert umbrella_main(["--workers", "2", f"--cache-dir={cache}", "bench", "--list"]) == 0
+    assert os.environ["REPRO_WORKERS"] == "2"
+    assert os.environ["REPRO_CACHE_DIR"] == cache
+    capsys.readouterr()
+
+
+def test_seed_forwarded_to_trace(tmp_path, capsys, monkeypatch):
+    out_path = tmp_path / "trace.jsonl"
+    assert umbrella_main(["--seed", "5", "trace", "--quick", "--jsonl", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "seed=5" in out
+    assert out_path.exists()
+
+
+# -- the trace command -------------------------------------------------------------
+def test_trace_quick_report(tmp_path, capsys):
+    csv_path = tmp_path / "trace.csv"
+    assert umbrella_main(["trace", "--quick", "--csv", str(csv_path)]) == 0
+    out = capsys.readouterr().out
+    assert "timeout taxonomy" in out
+    assert "cross-check vs per-flow stats: agree" in out
+    assert "queue occupancy" in out
+    header = csv_path.read_text().splitlines()[0]
+    assert header == "time_ns,kind,subject,value,detail"
+
+
+def test_trace_jsonl_export_round_trips(tmp_path, capsys):
+    from repro.telemetry import read_jsonl
+
+    path = tmp_path / "trace.jsonl"
+    assert umbrella_main(["trace", "--quick", "--jsonl", str(path)]) == 0
+    capsys.readouterr()
+    records = read_jsonl(path)
+    assert records and all(r.time_ns >= 0 for r in records)
+
+
+def test_trace_profile_reports_dispatch_breakdown(capsys):
+    assert umbrella_main(["trace", "--quick", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "engine profile:" in out
+    assert "events/s" in out
+
+
+# -- deprecated entry points (subprocess: they are __main__-guard shims) ------------
+@pytest.mark.parametrize(
+    "module,args,marker",
+    [
+        ("repro.experiments", ["--list"], "python -m repro experiments"),
+        ("repro.bench", ["--list"], "python -m repro bench"),
+        ("repro.validate.fuzz", ["--seeds", "1"], "python -m repro fuzz"),
+    ],
+)
+def test_old_entry_points_forward_and_warn(module, args, marker):
+    proc = _run_module(module, *args)
+    assert proc.returncode == 0, proc.stderr
+    assert "deprecated" in proc.stderr
+    assert marker in proc.stderr
+    assert proc.stdout.strip()

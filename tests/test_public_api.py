@@ -1,0 +1,118 @@
+"""The consolidated public API surface of the ``repro`` package.
+
+Pins two things: every name in ``repro.__all__`` actually imports, and
+the surface itself doesn't shrink or drift accidentally (additions are
+fine; removals must be deliberate and update the snapshot here).
+"""
+
+from __future__ import annotations
+
+import repro
+
+#: The v1.2 public surface.  Extend when the API grows; removing a name
+#: is a breaking change and should be a conscious decision.
+EXPECTED_SURFACE = {
+    # simulator + topology
+    "Simulator",
+    "Host",
+    "Link",
+    "Packet",
+    "Switch",
+    "TopologyParams",
+    "TwoTierTree",
+    "build_two_tier",
+    "build_dumbbell",
+    # transports
+    "TcpConfig",
+    "TcpSender",
+    "TcpReceiver",
+    "DctcpSender",
+    "TimeoutKind",
+    "DctcpPlusConfig",
+    "DctcpPlusSender",
+    "DctcpPlusState",
+    "SlowTimePacer",
+    "SlowTimeStateMachine",
+    # workloads
+    "IncastConfig",
+    "IncastWorkload",
+    "BackgroundConfig",
+    "BackgroundTraffic",
+    "BenchmarkConfig",
+    "BenchmarkWorkload",
+    "ProtocolSpec",
+    "spec_for",
+    # metrics + telemetry
+    "FlowStats",
+    "FlowTracer",
+    "CwndTracker",
+    "QueueSampler",
+    "Tracer",
+    "TraceRecord",
+    "Collector",
+    "PeriodicCollector",
+    "EngineProfiler",
+    # exec
+    "ScenarioSpec",
+    "PointResult",
+    "run_scenario",
+    "run_incast_batch",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "ResultCache",
+    # namespaces / meta
+    "config",
+    "__version__",
+}
+
+
+def test_all_names_import():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, f"repro.{name} missing"
+
+
+def test_surface_snapshot():
+    assert set(repro.__all__) == EXPECTED_SURFACE
+
+
+def test_no_duplicate_all_entries():
+    assert len(repro.__all__) == len(set(repro.__all__))
+
+
+def test_config_namespace_aliases_the_originals():
+    import repro.config
+    import repro.core.config
+    import repro.tcp.config
+    import repro.workloads.protocols
+
+    assert repro.config.TcpConfig is repro.tcp.config.TcpConfig
+    assert repro.config.DctcpPlusConfig is repro.core.config.DctcpPlusConfig
+    assert repro.config.ProtocolSpec is repro.workloads.protocols.ProtocolSpec
+    assert repro.config.spec_for is repro.workloads.protocols.spec_for
+
+
+def test_effective_tcp_config_applies_plus_floor():
+    from repro.config import DctcpPlusConfig, TcpConfig, effective_tcp_config
+
+    resolved = effective_tcp_config(TcpConfig(), DctcpPlusConfig(min_cwnd_mss=1.0))
+    assert resolved.min_cwnd_mss == 1.0
+    assert effective_tcp_config().min_cwnd_mss == TcpConfig().min_cwnd_mss
+    assert effective_tcp_config(ecn_enabled=True).ecn_enabled is True
+
+
+def test_telemetry_collectors_share_the_protocol():
+    from repro import Collector, CwndTracker, FlowTracer, QueueSampler, Tracer
+    from repro.telemetry import EngineProfiler
+
+    for cls in (FlowTracer, QueueSampler, CwndTracker, Tracer, EngineProfiler):
+        assert issubclass(cls, Collector)
+
+
+def test_version_matches_package_metadata():
+    import os
+    import re
+
+    here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    with open(os.path.join(here, "pyproject.toml"), encoding="utf-8") as fh:
+        match = re.search(r'^version = "([^"]+)"$', fh.read(), re.M)
+    assert match and match.group(1) == repro.__version__

@@ -1,0 +1,202 @@
+"""The telemetry subsystem: tracer, hooks, collectors, exporters, profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.scenario import PointResult, ScenarioSpec, run_scenario
+from repro.telemetry import (
+    EVENT_KINDS,
+    Collector,
+    EngineProfiler,
+    PeriodicCollector,
+    Tracer,
+    TraceRecord,
+    records_from_jsonl,
+    records_to_jsonl,
+    timeout_taxonomy,
+    timeout_taxonomy_from_stats,
+)
+
+
+def _spec(**overrides):
+    kwargs = dict(protocol="dctcp+", n_flows=8, rounds=2, seed=3, sample_queue=True)
+    kwargs.update(overrides)
+    return ScenarioSpec.create(**kwargs)
+
+
+# -- tracing must be invisible to the simulation --------------------------------
+def test_tracing_does_not_perturb_results():
+    traced = run_scenario(_spec(trace=True))
+    plain = run_scenario(_spec())
+    assert traced.events_processed == plain.events_processed
+    t, p = traced.to_dict(), plain.to_dict()
+    for payload in (t, p):
+        payload.pop("wall_time_s")
+        payload.pop("trace_events")
+    assert t == p
+    assert traced.trace_events and not plain.trace_events
+
+
+def test_traced_run_is_deterministic():
+    a = run_scenario(_spec(trace=True))
+    b = run_scenario(_spec(trace=True))
+    assert a.trace_events == b.trace_events
+
+
+def test_validated_and_plain_traced_runs_agree():
+    """Flow labels are per-run ordinals, so the checker can't skew traces."""
+    validated = run_scenario(_spec(trace=True), validate=True)
+    plain = run_scenario(_spec(trace=True), validate=False)
+    assert validated.trace_events == plain.trace_events
+
+
+# -- record content --------------------------------------------------------------
+def test_dctcp_plus_trace_covers_the_event_taxonomy():
+    records = run_scenario(_spec(trace=True)).trace_events
+    kinds = {r.kind for r in records}
+    assert kinds <= set(EVENT_KINDS)
+    # ECN marks and queue watermarks appear in any congested DCTCP+ run;
+    # slow_time records prove the state-machine hook fired.
+    assert {"mark", "queue_hwm", "slow_time"} <= kinds
+    for r in records:
+        assert isinstance(r, TraceRecord)
+        assert r.time_ns >= 0
+
+
+def test_queue_hwm_records_are_strictly_increasing_per_queue():
+    records = run_scenario(_spec(trace=True)).trace_events
+    peaks = {}
+    for r in records:
+        if r.kind == "queue_hwm":
+            assert r.value > peaks.get(r.subject, -1)
+            peaks[r.subject] = r.value
+
+
+def test_timeout_taxonomy_matches_flow_stats():
+    """The acceptance cross-check at the Table-I 128-flow point."""
+    result = run_scenario(ScenarioSpec.create("dctcp", n_flows=128, rounds=2, seed=1, trace=True))
+    from_trace = timeout_taxonomy(result.trace_events)
+    from_stats = timeout_taxonomy_from_stats(result.flow_stats)
+    assert sum(from_trace.values()) > 0, "N=128 incast must produce timeouts"
+    assert from_trace == from_stats
+
+
+def test_tracer_record_cap_sets_truncated():
+    tracer = Tracer(max_records=2)
+    tracer.sim = type("S", (), {"now": 7})()
+    for i in range(5):
+        tracer._emit("drop", "q", i)
+    assert len(tracer.records) == 2
+    assert tracer.truncated
+
+
+def test_tracer_rejects_bad_cap():
+    with pytest.raises(ValueError):
+        Tracer(max_records=0)
+
+
+# -- exec integration -------------------------------------------------------------
+def test_trace_events_round_trip_through_point_result():
+    result = run_scenario(_spec(trace=True))
+    clone = PointResult.from_dict(result.to_dict())
+    assert clone.trace_events == result.trace_events
+    assert all(isinstance(r, TraceRecord) for r in clone.trace_events)
+
+
+def test_trace_flag_is_part_of_the_cache_key():
+    assert _spec(trace=True).cache_key() != _spec().cache_key()
+
+
+# -- exporters --------------------------------------------------------------------
+def test_jsonl_round_trip():
+    records = run_scenario(_spec(trace=True)).trace_events
+    text = records_to_jsonl(records)
+    assert records_from_jsonl(text) == list(records)
+    assert text.endswith("\n")
+    assert records_to_jsonl([]) == ""
+
+
+def test_collector_csv_rendering():
+    class Two(Collector):
+        def schema(self):
+            return ("a", "b")
+
+        def rows(self):
+            return [(1, 2.5), (3, 4.0)]
+
+    assert Two().to_csv() == "a,b\n1,2.500\n3,4.000"
+
+
+# -- the periodic base -------------------------------------------------------------
+def test_periodic_collector_rejects_bad_interval():
+    from repro.sim.engine import Simulator
+
+    with pytest.raises(ValueError):
+        PeriodicCollector(Simulator(seed=1), 0)
+
+
+def test_periodic_collector_stop_after_exhaustion_is_safe():
+    """A post-exhaustion stop() must not cancel a recycled event."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator(seed=1)
+
+    class Counter(PeriodicCollector):
+        def __init__(self):
+            super().__init__(sim, 10)
+            self.samples = 0
+
+        def _sample(self):
+            self.samples += 1
+
+        def _exhausted(self):
+            return self.samples >= 3
+
+    collector = Counter()
+    collector.start()
+    sim.run(until=1_000)
+    assert collector.samples == 3
+    assert not collector.running
+    other = sim.schedule(10, lambda: None)
+    collector.stop()  # must be a no-op, not a cancellation of `other`
+    assert other.callback is not None
+
+
+# -- profiler ----------------------------------------------------------------------
+def test_profiler_attributes_dispatch_time():
+    profiler = EngineProfiler()
+    result = run_scenario(_spec(), profiler=profiler)
+    assert profiler.events == result.events_processed
+    assert sum(profiler.counts.values()) == result.events_processed
+    assert profiler.wall_s > 0
+    assert profiler.events_per_sec > 0
+    kinds = dict(zip(profiler.schema(), next(iter(profiler.rows()))))
+    assert set(profiler.schema()) == {"kind", "events", "total_s", "mean_us", "share"}
+    assert kinds["events"] > 0
+    assert "events/s" in profiler.report()
+
+
+def test_profiled_run_matches_plain_run():
+    profiled = run_scenario(_spec(), profiler=EngineProfiler())
+    plain = run_scenario(_spec())
+    p, q = profiled.to_dict(), plain.to_dict()
+    p.pop("wall_time_s")
+    q.pop("wall_time_s")
+    assert p == q
+
+
+def test_profiler_composes_with_tracing():
+    profiler = EngineProfiler()
+    traced = run_scenario(_spec(trace=True), profiler=profiler)
+    plain = run_scenario(_spec(trace=True))
+    assert profiler.events == traced.events_processed
+    assert traced.trace_events == plain.trace_events
+
+
+def test_validated_loop_takes_precedence_over_profiler():
+    """validate + profile: the checker's loop runs, the profiler stays idle."""
+    profiler = EngineProfiler()
+    result = run_scenario(_spec(), validate=True, profiler=profiler)
+    assert result.events_processed > 0
+    assert profiler.events == 0

@@ -1,0 +1,39 @@
+"""Golden JSONL trace for one small incast scenario.
+
+Pins the *byte-exact* telemetry output of a tiny DCTCP+ incast: record
+ordering, flow labelling (per-run ordinals, so the bytes are stable
+across processes), field serialization and the JSONL framing.  Any
+change to what the tracer emits — new record kinds, different subjects,
+reordered hooks — shows up here as a diff against the committed file.
+
+Regenerate on an intentional telemetry change with::
+
+    PYTHONPATH=src python tests/regen_goldens.py --trace
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.exec.scenario import ScenarioSpec, run_scenario
+from repro.telemetry import records_to_jsonl
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "trace_small_incast.jsonl")
+
+#: The pinned scenario: small enough for a sub-second run and a reviewable
+#: golden file, busy enough to emit marks, watermarks and slow_time records.
+GOLDEN_SPEC = dict(protocol="dctcp+", n_flows=4, rounds=2, seed=2, trace=True)
+
+
+def golden_trace_jsonl() -> str:
+    result = run_scenario(ScenarioSpec.create(**GOLDEN_SPEC))
+    return records_to_jsonl(result.trace_events)
+
+
+def test_trace_matches_committed_golden():
+    with open(GOLDEN_PATH, "r", encoding="utf-8", newline="") as fh:
+        committed = fh.read()
+    assert golden_trace_jsonl() == committed, (
+        "telemetry output changed.  If intentional, regenerate with "
+        "`PYTHONPATH=src python tests/regen_goldens.py --trace`."
+    )
