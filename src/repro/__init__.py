@@ -67,6 +67,7 @@ from .net import (
 )
 from .sim import Simulator
 from .tcp import DctcpSender, TcpConfig, TcpReceiver, TcpSender, TimeoutKind
+from .tcp.cc import CongestionControl, cc_labels, cc_names, get_cc, register
 from .telemetry import (
     Collector,
     EngineProfiler,
@@ -104,6 +105,11 @@ __all__ = [
     "TcpReceiver",
     "DctcpSender",
     "TimeoutKind",
+    "CongestionControl",
+    "register",
+    "get_cc",
+    "cc_names",
+    "cc_labels",
     "DctcpPlusConfig",
     "DctcpPlusSender",
     "DctcpPlusState",

@@ -37,6 +37,7 @@ from __future__ import annotations
 from typing import Optional
 
 from .core.config import DctcpPlusConfig
+from .tcp.cc import CongestionControl, cc_labels, cc_names, get_cc, register
 from .tcp.config import TcpConfig
 from .workloads.protocols import ProtocolSpec, spec_for
 
@@ -45,6 +46,11 @@ __all__ = [
     "DctcpPlusConfig",
     "ProtocolSpec",
     "spec_for",
+    "CongestionControl",
+    "register",
+    "get_cc",
+    "cc_names",
+    "cc_labels",
     "effective_tcp_config",
 ]
 
@@ -53,18 +59,24 @@ def effective_tcp_config(
     tcp: Optional[TcpConfig] = None,
     plus: Optional[DctcpPlusConfig] = None,
     *,
+    cc: Optional[str] = None,
     ecn_enabled: Optional[bool] = None,
 ) -> TcpConfig:
-    """The transport config a DCTCP+/TCP+ sender would actually run with.
+    """The transport config a sender of strategy ``cc`` would actually run with.
 
     Applies the same precedence as the sender constructors: the plus
-    config's ``min_cwnd_mss`` overrides the transport floor, and
-    ``ecn_enabled`` (when given) models the protocol's ECN stance
-    (DCTCP+ forces it on, TCP+ forces it off).
+    config's ``min_cwnd_mss`` overrides the transport floor (only for
+    strategies that actually run the slow_time law, when ``cc`` is given),
+    and the ECN stance comes from the strategy's registration —
+    ``ecn_enabled`` (when given) still wins, for callers modelling a
+    hypothetical stance.
     """
     tcp = tcp or TcpConfig()
-    if plus is not None:
+    strategy = get_cc(cc) if cc is not None else None
+    if plus is not None and (strategy is None or strategy.slow_time):
         tcp = tcp.with_overrides(min_cwnd_mss=plus.min_cwnd_mss)
+    if ecn_enabled is None and strategy is not None:
+        ecn_enabled = strategy.ecn
     if ecn_enabled is not None:
         tcp = tcp.with_overrides(ecn_enabled=ecn_enabled)
     return tcp

@@ -71,6 +71,15 @@ class DctcpPlusConfig:
             )
         if self.threshold_t_ns < 0:
             raise ValueError("threshold_T must be non-negative")
+        if self.decay_interval_ns < 0:
+            # A negative interval would make the rate limiter's "now - last
+            # >= interval" test vacuously true — silently decaying on every
+            # clean ACK instead of flagging the bad config.
+            raise ValueError("decay_interval must be non-negative")
+        if self.decay_interval_mode not in ("fixed", "srtt"):
+            raise ValueError(
+                f"decay_interval_mode must be 'fixed' or 'srtt', got {self.decay_interval_mode!r}"
+            )
         if self.min_cwnd_mss <= 0:
             raise ValueError("cwnd floor must be positive")
 

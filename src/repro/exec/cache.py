@@ -41,10 +41,13 @@ class ResultCache:
         try:
             with path.open("r", encoding="utf-8") as fh:
                 entry = json.load(fh)
+            # AttributeError covers entries whose top level decodes but is
+            # not an object (a file truncated to "null", a bare list): they
+            # must count as exactly one miss, not crash the executor.
             if entry.get("spec") != spec.to_dict():
                 raise ValueError("cache entry spec mismatch")
             result = PointResult.from_dict(entry["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
             self.misses += 1
             return None
         self.hits += 1

@@ -35,7 +35,8 @@ from ..workloads.protocols import ProtocolSpec, spec_for
 
 #: Bumped whenever the on-disk result encoding changes shape; part of the
 #: cache key so stale entries from older encodings never decode.
-SCHEMA_VERSION = 2
+#: v3: ScenarioSpec.cc dimension + PointResult.round_durations_ns.
+SCHEMA_VERSION = 3
 
 Overrides = Tuple[Tuple[str, object], ...]
 
@@ -70,6 +71,12 @@ class ScenarioSpec:
     #: untraced run apart from the ``trace_events`` payload.
     trace: bool = False
     max_events: int = 400_000_000
+    #: Congestion-control strategy override (a repro.tcp.cc registry name).
+    #: "" — the default — derives the strategy from ``protocol``; a
+    #: non-empty value selects the strategy while ``protocol`` remains the
+    #: point's reporting label.  Part of to_dict(), so it joins the cache
+    #: key and the fuzzer's differential digests.
+    cc: str = ""
 
     @classmethod
     def create(
@@ -89,6 +96,7 @@ class ScenarioSpec:
         sample_queue: bool = False,
         trace: bool = False,
         max_events: int = 400_000_000,
+        cc: str = "",
     ) -> "ScenarioSpec":
         """Build a spec from the kwargs the figure drivers historically used.
 
@@ -116,12 +124,18 @@ class ScenarioSpec:
             sample_queue=sample_queue,
             trace=trace,
             max_events=max_events,
+            cc=cc,
         )
+
+    @property
+    def cc_name(self) -> str:
+        """The effective congestion-control strategy name."""
+        return self.cc or self.protocol
 
     # -- derived builders ------------------------------------------------------
     def protocol_spec(self) -> ProtocolSpec:
         return spec_for(
-            self.protocol,
+            self.cc_name,
             tcp_overrides=dict(self.tcp_overrides),
             plus_overrides=dict(self.plus_overrides),
         )
@@ -164,7 +178,8 @@ class ScenarioSpec:
 
     def label(self) -> str:
         """Short human-readable tag for progress lines."""
-        return f"{self.protocol} N={self.n_flows} seed={self.seed}"
+        name = self.protocol if not self.cc else f"{self.protocol}[cc={self.cc}]"
+        return f"{name} N={self.n_flows} seed={self.seed}"
 
 
 @dataclass
@@ -188,6 +203,9 @@ class PointResult:
     bad_rounds: int
     flow_stats: List[FlowStats] = field(default_factory=list)
     queue_samples_bytes: List[int] = field(default_factory=list)
+    #: Per-round completion times, concatenated across seeds — the tail
+    #: behind the ``fct_ms`` mean (the arena scores p99 from these).
+    round_durations_ns: List[int] = field(default_factory=list)
     #: Telemetry records captured when the spec asked for tracing (empty
     #: otherwise); serialized with the result, so cached runs keep their
     #: telemetry.
@@ -200,6 +218,20 @@ class PointResult:
     #: Host wall-clock seconds spent simulating; excluded from equality so a
     #: cache hit compares equal to the cold run that produced it.
     wall_time_s: float = field(default=0.0, compare=False)
+
+    @property
+    def fct_p99_ms(self) -> float:
+        """99th-percentile round completion time (nearest-rank).
+
+        Falls back to the mean when per-round durations are unavailable
+        (results decoded from a pre-v3 encoding).
+        """
+        durations = self.round_durations_ns
+        if not durations:
+            return self.fct_ms
+        ranked = sorted(durations)
+        index = max(0, -(-99 * len(ranked) // 100) - 1)  # ceil(0.99 n) - 1
+        return ranked[index] / 1e6
 
     @classmethod
     def aggregate(cls, results: Sequence["PointResult"]) -> "PointResult":
@@ -225,6 +257,7 @@ class PointResult:
             bad_rounds=sum(r.bad_rounds for r in results),
             flow_stats=[fs for r in results for fs in r.flow_stats],
             queue_samples_bytes=[q for r in results for q in r.queue_samples_bytes],
+            round_durations_ns=[d for r in results for d in r.round_durations_ns],
             trace_events=[e for r in results for e in r.trace_events],
             bg_throughput_mbps=sum(bg) / len(bg) if bg else None,
             events_processed=sum(r.events_processed for r in results),
@@ -244,6 +277,7 @@ class PointResult:
             "bad_rounds": self.bad_rounds,
             "flow_stats": [_flowstats_to_dict(fs) for fs in self.flow_stats],
             "queue_samples_bytes": list(self.queue_samples_bytes),
+            "round_durations_ns": list(self.round_durations_ns),
             "trace_events": [list(e) for e in self.trace_events],
             "bg_throughput_mbps": self.bg_throughput_mbps,
             "events_processed": self.events_processed,
@@ -263,6 +297,7 @@ class PointResult:
             bad_rounds=data["bad_rounds"],
             flow_stats=[_flowstats_from_dict(d) for d in data["flow_stats"]],
             queue_samples_bytes=list(data["queue_samples_bytes"]),
+            round_durations_ns=list(data.get("round_durations_ns", [])),
             trace_events=[TraceRecord(*row) for row in data.get("trace_events", [])],
             bg_throughput_mbps=data["bg_throughput_mbps"],
             events_processed=data["events_processed"],
@@ -351,6 +386,9 @@ def run_scenario(
     if spec.fault_overrides:
         _apply_faults(sim, tree, spec.fault_overrides)
     protocol_spec = spec.protocol_spec()
+    # Strategy network hook (e.g. Pulser arming the bottleneck's incast
+    # detector); a no-op for every strategy that doesn't declare one.
+    protocol_spec.install_network(tree)
 
     background = None
     if spec.with_background:
@@ -395,6 +433,7 @@ def run_scenario(
         bad_rounds=sum(1 for r in workload.rounds if r.timeouts > 0),
         flow_stats=flow_stats,
         queue_samples_bytes=queue_samples,
+        round_durations_ns=[r.duration_ns for r in workload.rounds],
         trace_events=list(tracer.records) if tracer is not None else [],
         bg_throughput_mbps=bg_throughput_mbps,
         events_processed=sim.events_processed - events_before,

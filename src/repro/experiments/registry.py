@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import Callable
 
 from . import (
+    arena,
     fig01_goodput_collapse,
     fig02_cwnd_distribution,
     fig06_partial_dctcp_plus,
@@ -34,6 +35,7 @@ _MODULES = {
     "fig12": fig11_12_background,  # same driver reports both panels
     "fig13": fig13_benchmark,
     "fig14": fig14_initial_rounds,
+    "arena": arena,
 }
 
 
@@ -78,3 +80,11 @@ def paper_scale_kwargs(experiment_id: str) -> dict:
     rounds/seeds scale-up), declared as ``PAPER_SCALE_KWARGS`` on the module."""
     module = _MODULES[experiment_id]
     return dict(getattr(module, "PAPER_SCALE_KWARGS", {}))
+
+
+def quick_scale_kwargs(experiment_id: str) -> dict:
+    """Kwargs for a smoke-scale run under ``--quick``, declared as
+    ``QUICK_KWARGS`` on the module (empty when the driver declares none —
+    the CLI then falls back to a generic rounds/seeds reduction)."""
+    module = _MODULES[experiment_id]
+    return dict(getattr(module, "QUICK_KWARGS", {}))

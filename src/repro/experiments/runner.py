@@ -37,6 +37,7 @@ from .registry import (
     experiment_ids,
     get_runner,
     paper_scale_kwargs,
+    quick_scale_kwargs,
     supports_sweep_kwargs,
 )
 
@@ -67,7 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N1,N2,...",
         help="comma-separated flow counts for sweep experiments",
     )
-    parser.add_argument("--paper", action="store_true", help="paper-scale configuration (slow)")
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument("--paper", action="store_true", help="paper-scale configuration (slow)")
+    scale.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke-scale configuration (CI; driver-declared or a generic "
+        "rounds/seeds reduction)",
+    )
     parser.add_argument(
         "--workers",
         type=int,
@@ -104,6 +112,8 @@ def _kwargs_for(experiment: str, args: argparse.Namespace) -> dict:
     if not supports_sweep_kwargs(experiment):
         if args.paper:
             kwargs.update(paper_scale_kwargs(experiment))
+        elif args.quick:
+            kwargs.update(quick_scale_kwargs(experiment))
         return kwargs
     if args.rounds is not None:
         kwargs["rounds"] = args.rounds
@@ -116,6 +126,11 @@ def _kwargs_for(experiment: str, args: argparse.Namespace) -> dict:
         kwargs.setdefault("seeds", tuple(range(1, 11)))
         for key, value in paper_scale_kwargs(experiment).items():
             kwargs.setdefault(key, value)
+    if args.quick:
+        for key, value in quick_scale_kwargs(experiment).items():
+            kwargs.setdefault(key, value)
+        kwargs.setdefault("rounds", 2)
+        kwargs.setdefault("seeds", (1,))
     return kwargs
 
 

@@ -10,6 +10,11 @@ ECN field semantics follow RFC 3168 naming:
 - ``ect``  — sender marked the packet ECN-capable (ECT codepoint).
 - ``ce``   — a switch changed ECT to CE (Congestion Experienced).
 - ``ece``  — the receiver echoes CE back to the sender in ACKs (ECN-Echo).
+
+``inc`` is the Pulser-style incast-onset bit (arXiv:1809.09751): a switch
+stamps it on packets arriving past the incast threshold, the receiver
+echoes it on ACKs, and incast-aware senders back off on the echo.  It is
+always False unless a scenario armed the detector.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ class Packet:
         "ect",
         "ce",
         "ece",
+        "inc",
         "wire_bytes",
         "sent_time",
         "is_retransmit",
@@ -57,6 +63,7 @@ class Packet:
         ect: bool = False,
         ce: bool = False,
         ece: bool = False,
+        inc: bool = False,
         wire_bytes: int = 0,
         is_retransmit: bool = False,
         packet_id: int = UNASSIGNED_PACKET_ID,
@@ -76,6 +83,7 @@ class Packet:
         self.ect = ect
         self.ce = ce
         self.ece = ece
+        self.inc = inc
         self.wire_bytes = wire_bytes if wire_bytes else (payload_len + HEADER_BYTES)
         self.sent_time = -1
         self.is_retransmit = is_retransmit
@@ -130,6 +138,7 @@ def make_ack_packet(
     ack_seq: int,
     *,
     ece: bool = False,
+    inc: bool = False,
     packet_id: int = UNASSIGNED_PACKET_ID,
 ) -> Packet:
     """Build a pure cumulative ACK (64 B on the wire)."""
@@ -140,6 +149,7 @@ def make_ack_packet(
         is_ack=True,
         ack_seq=ack_seq,
         ece=ece,
+        inc=inc,
         wire_bytes=ACK_BYTES,
         packet_id=packet_id,
     )

@@ -41,6 +41,8 @@ class DropTailQueue:
     __slots__ = (
         "capacity_bytes",
         "ecn_threshold_bytes",
+        "inc_threshold_bytes",
+        "inc_marked_packets",
         "_queue",
         "occupancy_bytes",
         "enqueued_packets",
@@ -69,6 +71,10 @@ class DropTailQueue:
             raise ValueError(f"ECN threshold must be non-negative, got {ecn_threshold_bytes}")
         self.capacity_bytes = capacity_bytes
         self.ecn_threshold_bytes = ecn_threshold_bytes
+        #: Pulser-style incast-onset threshold; ``None`` (the default)
+        #: disables the detector entirely — see repro.tcp.pulser.
+        self.inc_threshold_bytes: Optional[int] = None
+        self.inc_marked_packets = 0
         self._queue: Deque[Packet] = deque()
         self.occupancy_bytes = 0
         self.enqueued_packets = 0
@@ -104,6 +110,10 @@ class DropTailQueue:
                 self.marked_packets += 1
                 if self.on_mark is not None:
                     self.on_mark(packet)
+        inc_threshold = self.inc_threshold_bytes
+        if inc_threshold is not None and occupancy > inc_threshold and not packet.inc:
+            packet.inc = True
+            self.inc_marked_packets += 1
         if occupancy + wire_bytes > self.capacity_bytes:
             self.dropped_packets += 1
             self.dropped_bytes += wire_bytes

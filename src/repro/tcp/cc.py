@@ -1,0 +1,269 @@
+"""Pluggable congestion-control strategies.
+
+Historically each protocol variant was a hardcoded branch of
+``ProtocolSpec.make_sender`` plus an inheritance lattice (DCTCP+ on
+DCTCP, D2TCP mixed into both).  This module replaces the dispatch with a
+registry of :class:`CongestionControl` descriptors: a strategy is a named
+sender factory plus the metadata the rest of the stack needs (ECN stance,
+whether the slow_time law applies, deadline awareness, an optional
+network-side installation hook).  The sender classes themselves are
+unchanged — a strategy *wraps* one, it does not reimplement it — so
+registering a new competitor is a dozen lines and no subclassing of the
+protocol plumbing.
+
+Builtins are bound here, in the paper's presentation order, so the
+registry contents never depend on which module a caller imported first.
+Factories import their sender lazily to keep this module import-cycle
+free (``repro.core`` imports ``repro.tcp`` but not vice versa).
+
+Example — registering an external strategy::
+
+    from repro.tcp.cc import CongestionControl, register
+
+    register(CongestionControl(
+        name="my-cc", label="MyCC", ecn=True,
+        factory=lambda sim, host, dst, fid, tcp, plus, done, deadline:
+            MySender(sim, host, dst, fid, config=tcp, on_complete=done),
+    ))
+
+After registration the name works everywhere a protocol string does:
+``spec_for("my-cc")``, ``ScenarioSpec.create(cc="my-cc", ...)``, the
+fuzzer, and the arena experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.config import DctcpPlusConfig
+    from ..net.host import Host
+    from ..net.topology import TwoTierTree
+    from ..sim.engine import Simulator
+    from .config import TcpConfig
+    from .sender import TcpSender
+
+#: factory(sim, host, dst_node_id, flow_id, tcp_config, plus_config,
+#:         on_complete, deadline_ns) -> TcpSender
+SenderFactory = Callable[..., "TcpSender"]
+
+
+@dataclass(frozen=True)
+class CongestionControl:
+    """One registered congestion-control strategy.
+
+    Attributes
+    ----------
+    name:
+        Registry key; the protocol string used by specs, CLI and cache keys.
+    label:
+        Display name matching the paper's figures.
+    factory:
+        Builds the sender endpoint; receives the resolved
+        (tcp_config, plus_config) pair and may ignore either.
+    ecn:
+        Whether the strategy runs with ECN-capable transport.  Strategies
+        with ``ecn=False`` (plain New Reno) have it forced off.
+    slow_time:
+        Whether the paper's slow_time enhancement law is active — i.e. the
+        plus config is consumed and its cwnd floor overrides the transport's.
+    deadline_aware:
+        Whether the factory honours ``deadline_ns`` (D2TCP family).
+    install_network:
+        Optional hook run once per scenario against the built topology
+        (Pulser arms the bottleneck's incast-notification threshold here).
+        Must be deterministic; it runs in worker processes too.
+    description:
+        One line for ``--list``-style surfaces and the arena notes.
+    """
+
+    name: str
+    label: str
+    factory: SenderFactory
+    ecn: bool = True
+    slow_time: bool = False
+    deadline_aware: bool = False
+    install_network: Optional[Callable[["TwoTierTree"], None]] = None
+    description: str = ""
+
+    def build(
+        self,
+        sim: "Simulator",
+        host: "Host",
+        dst_node_id: int,
+        flow_id: int,
+        tcp_config: Optional["TcpConfig"] = None,
+        plus_config: Optional["DctcpPlusConfig"] = None,
+        on_complete: Optional[Callable[["TcpSender"], None]] = None,
+        deadline_ns: Optional[int] = None,
+    ) -> "TcpSender":
+        """Instantiate the sender endpoint for this strategy."""
+        from ..core.config import DctcpPlusConfig
+        from .config import TcpConfig
+
+        return self.factory(
+            sim,
+            host,
+            dst_node_id,
+            flow_id,
+            tcp_config if tcp_config is not None else TcpConfig(),
+            plus_config if plus_config is not None else DctcpPlusConfig(),
+            on_complete,
+            deadline_ns,
+        )
+
+
+_REGISTRY: Dict[str, CongestionControl] = {}
+
+
+def register(cc: CongestionControl, *, replace: bool = False) -> CongestionControl:
+    """Add a strategy to the registry; returns it for chaining.
+
+    Re-registering an existing name is an error unless ``replace=True``
+    (explicit substitution, e.g. an instrumented variant in a test).
+    """
+    if not replace and cc.name in _REGISTRY:
+        raise ValueError(f"congestion control {cc.name!r} is already registered")
+    _REGISTRY[cc.name] = cc
+    return cc
+
+
+def unregister(name: str) -> None:
+    """Remove a strategy (tests cleaning up after themselves)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_cc(name: str) -> CongestionControl:
+    """Look up a strategy by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown congestion control {name!r}; choose from {cc_names()}"
+        ) from None
+
+
+def cc_names() -> Tuple[str, ...]:
+    """All registered strategy names, builtins first in paper order."""
+    return tuple(_REGISTRY)
+
+
+def cc_labels() -> Dict[str, str]:
+    """name -> display label for every registered strategy."""
+    return {name: cc.label for name, cc in _REGISTRY.items()}
+
+
+# -- builtin strategies -----------------------------------------------------------
+def _tcp(sim, host, dst, fid, tcp_config, plus_config, on_complete, deadline_ns):
+    from .sender import TcpSender
+
+    return TcpSender(
+        sim, host, dst, fid,
+        config=tcp_config.with_overrides(ecn_enabled=False),
+        on_complete=on_complete,
+    )
+
+
+def _dctcp(sim, host, dst, fid, tcp_config, plus_config, on_complete, deadline_ns):
+    from .dctcp import DctcpSender
+
+    return DctcpSender(sim, host, dst, fid, config=tcp_config, on_complete=on_complete)
+
+
+def _dctcp_plus(sim, host, dst, fid, tcp_config, plus_config, on_complete, deadline_ns):
+    from ..core.dctcp_plus import DctcpPlusSender
+
+    return DctcpPlusSender(
+        sim, host, dst, fid,
+        config=tcp_config, plus_config=plus_config, on_complete=on_complete,
+    )
+
+
+def _tcp_plus(sim, host, dst, fid, tcp_config, plus_config, on_complete, deadline_ns):
+    from ..core.reno_plus import RenoPlusSender
+
+    return RenoPlusSender(
+        sim, host, dst, fid,
+        config=tcp_config, plus_config=plus_config, on_complete=on_complete,
+    )
+
+
+def _d2tcp(sim, host, dst, fid, tcp_config, plus_config, on_complete, deadline_ns):
+    from .d2tcp import D2tcpSender
+
+    return D2tcpSender(
+        sim, host, dst, fid,
+        config=tcp_config, on_complete=on_complete, deadline_ns=deadline_ns,
+    )
+
+
+def _d2tcp_plus(sim, host, dst, fid, tcp_config, plus_config, on_complete, deadline_ns):
+    from .d2tcp import D2tcpPlusSender
+
+    return D2tcpPlusSender(
+        sim, host, dst, fid,
+        config=tcp_config, plus_config=plus_config,
+        on_complete=on_complete, deadline_ns=deadline_ns,
+    )
+
+
+def _pulser(sim, host, dst, fid, tcp_config, plus_config, on_complete, deadline_ns):
+    from .pulser import PulserSender
+
+    return PulserSender(sim, host, dst, fid, config=tcp_config, on_complete=on_complete)
+
+
+def _pulser_install(tree: "TwoTierTree") -> None:
+    from .pulser import install_incast_notification
+
+    install_incast_notification(tree)
+
+
+def _tbtcp(sim, host, dst, fid, tcp_config, plus_config, on_complete, deadline_ns):
+    from .tbtcp import TbtcpSender
+
+    return TbtcpSender(sim, host, dst, fid, config=tcp_config, on_complete=on_complete)
+
+
+register(CongestionControl(
+    name="tcp", label="TCP", factory=_tcp, ecn=False,
+    description="TCP New Reno, no ECN (the paper's TCP baseline)",
+))
+register(CongestionControl(
+    name="dctcp", label="DCTCP", factory=_dctcp,
+    description="DCTCP (Alizadeh et al.)",
+))
+register(CongestionControl(
+    name="dctcp+", label="DCTCP+", factory=_dctcp_plus, slow_time=True,
+    description="full DCTCP+ (randomized slow_time regulation)",
+))
+register(CongestionControl(
+    name="dctcp+norand", label="DCTCP+ (no desync)", factory=_dctcp_plus,
+    slow_time=True,
+    description="partially implemented DCTCP+ (Fig. 6): no randomization",
+))
+register(CongestionControl(
+    name="tcp+", label="TCP+", factory=_tcp_plus, ecn=False, slow_time=True,
+    description="New Reno + slow_time regulation (loss-channel driven)",
+))
+register(CongestionControl(
+    name="d2tcp", label="D2TCP", factory=_d2tcp, deadline_aware=True,
+    description="deadline-aware DCTCP (Vamanan et al.)",
+))
+register(CongestionControl(
+    name="d2tcp+", label="D2TCP+", factory=_d2tcp_plus, slow_time=True,
+    deadline_aware=True,
+    description="D2TCP carrying the slow_time enhancement (Section VII)",
+))
+register(CongestionControl(
+    name="pulser", label="Pulser", factory=_pulser,
+    install_network=_pulser_install,
+    description="DCTCP + explicit incast-onset notification from the switch "
+    "(Pulser-style, arXiv:1809.09751)",
+))
+register(CongestionControl(
+    name="tbtcp", label="TBTCP", factory=_tbtcp,
+    description="DCTCP paced at cwnd/srtt with a capped window, holding the "
+    "bottleneck queue near zero (TBTCP-style, arXiv:1909.05392)",
+))

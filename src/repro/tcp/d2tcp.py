@@ -76,7 +76,14 @@ class _DeadlineMixin:
         if self.deadline_ns is None:
             return 1.0  # deadline-less flows behave exactly like DCTCP
         remaining = self.total_bytes - self.snd_una
-        srtt = self.rtt.srtt_ns or 1
+        # A congestion event can precede the first RTT sample (an unseeded
+        # estimator holds srtt = None).  Dividing by a ~1 ns placeholder
+        # would inflate the rate estimate ~1e5x and clamp d to d_min — the
+        # flow would back off *hardest* exactly when its deadline clock
+        # just started.  Fall back to the configured baseline RTT instead.
+        srtt = self.rtt.srtt_ns
+        if not srtt:
+            srtt = self.config.seed_rtt_ns or self.rtt.rto_initial_ns
         rate = self.cwnd / srtt  # bytes per ns at the current window
         return deadline_factor(remaining, rate, self.deadline_ns - self.sim.now)
 

@@ -78,20 +78,24 @@ class DelayedAckReceiver(TcpReceiver):
 
     # -- ACK policy -----------------------------------------------------------
     def _ack_policy(self, packet: Packet, out_of_order: bool, rcv_before: int) -> None:
+        if packet.ect and packet.ce != self._ce_state:
+            # DCTCP state change: ACK the pending run with the *old* state
+            # immediately — covering only the bytes that preceded this
+            # segment — then adopt the new state.  This runs for *every*
+            # arriving ECT segment, in-order or not (Linux's
+            # tcp_ecn_check_ce updates the CE state before the queueing
+            # decision): an out-of-order segment's mark would otherwise be
+            # lost and the sender's alpha under-estimated.
+            if self._pending_segments > 0:
+                self._flush_pending(ack_seq=rcv_before)
+            self._ce_state = packet.ce
+
         if out_of_order:
             # Duplicate/out-of-order: flush anything pending, then ACK now.
             self._flush_pending()
             self._send_ack(ece=self._ce_state if packet.ect else packet.ce)
             self.immediate_acks_sent += 1
             return
-
-        if packet.ect and packet.ce != self._ce_state:
-            # DCTCP state change: ACK the pending run with the *old* state
-            # immediately — covering only the bytes that preceded this
-            # segment — then adopt the new state for it.
-            if self._pending_segments > 0:
-                self._flush_pending(ack_seq=rcv_before)
-            self._ce_state = packet.ce
 
         self._pending_segments += 1
         if self._pending_segments >= self.ack_every:

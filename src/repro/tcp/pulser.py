@@ -1,0 +1,81 @@
+"""Pulser-style explicit incast notification (after arXiv:1809.09751).
+
+Pulser's observation: ECN marking reacts to *queue depth*, which under a
+massive synchronized fan-in is already too late — by the time the marks
+come back as ECE the buffer has overflowed.  Pulser instead has the
+switch detect the *onset* of an incast burst and broadcast an explicit
+signal that senders treat as an order to back off multiplicatively,
+right now, without waiting for the alpha estimate to catch up.
+
+The model here keeps the repo's packet-level fidelity:
+
+- the bottleneck queue gets an ``inc_threshold_bytes`` above the ECN knee
+  (:func:`install_incast_notification`); any packet that arrives to find
+  the occupancy past it is stamped with the ``inc`` bit;
+- the receiver echoes ``inc`` on its next ACK (piggybacked, like ECE);
+- :class:`PulserSender` — DCTCP plus the incast reaction — halves its
+  window at most once per window of data when an ``inc`` echo arrives,
+  on top of the normal DCTCP alpha machinery.
+
+The per-window guard mirrors DCTCP's own once-per-RTT reduction rule:
+one fan-in burst produces one multiplicative backoff, not one per ACK.
+"""
+
+from __future__ import annotations
+
+from ..net.topology import TwoTierTree
+from .dctcp import DctcpSender
+
+#: Multiplicative backoff applied on an incast-onset echo.
+INC_BACKOFF_FACTOR = 0.5
+
+
+def install_incast_notification(tree: TwoTierTree) -> None:
+    """Arm the bottleneck queue's incast-onset detector.
+
+    The threshold sits at twice the ECN marking point (capped at 3/4 of
+    the buffer): occupancy past the knee *and still climbing* is the
+    fan-in signature, while ordinary DCTCP steady-state marking around K
+    must not trip it.  Queues without ECN use half the buffer.
+    """
+    queue = tree.bottleneck_port.queue
+    ecn_threshold = queue.ecn_threshold_bytes
+    if ecn_threshold is not None:
+        threshold = min(2 * ecn_threshold, (queue.capacity_bytes * 3) // 4)
+    else:
+        threshold = queue.capacity_bytes // 2
+    queue.inc_threshold_bytes = threshold
+
+
+class PulserSender(DctcpSender):
+    """DCTCP + multiplicative backoff on the switch's incast-onset signal."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: sequence guard: at most one incast backoff per window of data.
+        self._inc_guard_seq = 0
+        self.inc_acks_received = 0
+        self.incast_backoffs = 0
+
+    def _on_ack(self, ack) -> None:
+        if ack.inc and not self.completed:
+            self.inc_acks_received += 1
+            self._on_incast_signal()
+        super()._on_ack(ack)
+
+    def _on_incast_signal(self) -> None:
+        if self.snd_una < self._inc_guard_seq:
+            return  # already backed off for this window of data
+        cfg = self.config
+        floor = cfg.min_cwnd_bytes
+        self.cwnd = self._quantize_down(self.cwnd * INC_BACKOFF_FACTOR, floor)
+        self.ssthresh = max(self.cwnd, floor)
+        self._ca_bytes_acked = 0.0
+        self._inc_guard_seq = self.snd_nxt
+        self.incast_backoffs += 1
+
+    def _cc_on_timeout(self, kind) -> None:
+        # The window was lost; the guard must not outlive the go-back-N
+        # rewind or the first post-recovery signal would be ignored.
+        self._inc_guard_seq = self.snd_una
+        super()._cc_on_timeout(kind)

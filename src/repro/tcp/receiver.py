@@ -34,6 +34,7 @@ class TcpReceiver:
         "on_complete",
         "_ooo",
         "_done",
+        "_inc_echo",
         "data_packets_received",
         "duplicate_packets_received",
         "ce_packets_received",
@@ -61,6 +62,7 @@ class TcpReceiver:
         self.on_complete = on_complete
         self._ooo: Dict[int, int] = {}  # seq -> end of buffered segment
         self._done = False
+        self._inc_echo = False  # pending incast-onset echo (see repro.tcp.pulser)
         self.data_packets_received = 0
         self.duplicate_packets_received = 0
         self.ce_packets_received = 0
@@ -87,6 +89,8 @@ class TcpReceiver:
         self.data_packets_received += 1
         if packet.ce:
             self.ce_packets_received += 1
+        if packet.inc:
+            self._inc_echo = True
 
         rcv_before = self.rcv_nxt
         if packet.end_seq <= self.rcv_nxt:
@@ -157,12 +161,18 @@ class TcpReceiver:
                 del self._ooo[s]
 
     def _send_ack(self, ece: bool, ack_seq: Optional[int] = None) -> None:
+        inc = self._inc_echo
+        if inc:
+            # The onset signal rides the next ACK out, whatever kind it is
+            # (immediate, delayed, duplicate), then is consumed.
+            self._inc_echo = False
         ack = make_ack_packet(
             self.flow_id,
             self.host.node_id,
             self.peer_node_id,
             self.rcv_nxt if ack_seq is None else ack_seq,
             ece=ece,
+            inc=inc,
             packet_id=self.sim.next_packet_id(),
         )
         self.host.send(ack)

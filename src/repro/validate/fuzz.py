@@ -46,7 +46,9 @@ from .checker import InvariantViolation
 
 #: Protocols the fuzzer samples (the full implemented matrix minus the
 #: plain-TCP baseline, which exercises no code the others miss).
-FUZZ_PROTOCOLS = ("dctcp", "dctcp+", "dctcp+norand", "tcp+", "d2tcp", "d2tcp+")
+FUZZ_PROTOCOLS = (
+    "dctcp", "dctcp+", "dctcp+norand", "tcp+", "d2tcp", "d2tcp+", "pulser", "tbtcp",
+)
 
 
 class FuzzFailure(AssertionError):
@@ -58,6 +60,11 @@ def draw_spec(seed: int) -> ScenarioSpec:
     """Deterministically draw one random scenario for a fuzz seed."""
     rng = random.Random(0x5EED ^ (seed * 0x9E3779B1))
     protocol = rng.choice(FUZZ_PROTOCOLS)
+    # A fifth of draws route the strategy through the spec's explicit ``cc``
+    # dimension instead of the protocol label, so the differentials cover
+    # the cc-resolution path (and its cache-key contribution) too.
+    cc = rng.choice(FUZZ_PROTOCOLS) if rng.random() < 0.2 else ""
+    effective = cc or protocol
 
     topo: Dict[str, object] = {
         "link_rate_bps": rng.choice([10 ** 9, 10 ** 10]),
@@ -78,11 +85,11 @@ def draw_spec(seed: int) -> ScenarioSpec:
         # default 60 simulated seconds.
         "round_deadline_ns": 2 * SEC,
     }
-    if "d2tcp" in protocol and rng.random() < 0.5:
+    if "d2tcp" in effective and rng.random() < 0.5:
         incast["flow_deadline_ns"] = rng.choice([5_000_000, 20_000_000])
 
     plus: Dict[str, object] = {}
-    if protocol.endswith("+") or protocol == "dctcp+norand":
+    if effective.endswith("+") or effective == "dctcp+norand":
         plus["backoff_unit_mode"] = rng.choice(["fixed", "srtt"])
 
     fault: Optional[Dict[str, object]] = None
@@ -107,6 +114,7 @@ def draw_spec(seed: int) -> ScenarioSpec:
         # differential checks then prove tracing never perturbs results
         # (the tracer schedules no events and draws no randomness).
         trace=rng.random() < 0.25,
+        cc=cc,
     )
 
 

@@ -1,6 +1,14 @@
-"""Protocol registry: build a sender for a named protocol variant.
+"""Named protocol bundles over the congestion-control registry.
 
-The experiments compare four variants:
+A :class:`ProtocolSpec` pairs a registered
+:class:`~repro.tcp.cc.CongestionControl` strategy with its configuration
+(:class:`~repro.tcp.config.TcpConfig` + the slow_time law's
+:class:`~repro.core.config.DctcpPlusConfig`).  Dispatch — which sender
+class, whether the plus config applies, the display label — lives in the
+registry (:mod:`repro.tcp.cc`), so adding a competitor is a registration,
+not a new branch here.
+
+The paper's four variants:
 
 - ``"tcp"``        — TCP New Reno, no ECN (the paper's TCP baseline).
 - ``"dctcp"``      — DCTCP.
@@ -13,6 +21,11 @@ Section VII extensions (the enhancement coalesced with other transports):
 - ``"tcp+"``   — New Reno + slow_time regulation (loss-channel driven).
 - ``"d2tcp"``  — deadline-aware DCTCP (Vamanan et al.).
 - ``"d2tcp+"`` — D2TCP carrying the slow_time enhancement.
+
+Arena competitors from PAPERS.md:
+
+- ``"pulser"`` — explicit incast-onset notification (arXiv:1809.09751).
+- ``"tbtcp"``  — tiny-buffer pacing + capped window (arXiv:1909.05392).
 """
 
 from __future__ import annotations
@@ -21,16 +34,17 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..core.config import DctcpPlusConfig
-from ..core.dctcp_plus import DctcpPlusSender
-from ..core.reno_plus import RenoPlusSender
 from ..net.host import Host
+from ..net.topology import TwoTierTree
 from ..sim.engine import Simulator
+from ..tcp.cc import cc_names, get_cc
 from ..tcp.config import TcpConfig
-from ..tcp.d2tcp import D2tcpPlusSender, D2tcpSender
-from ..tcp.dctcp import DctcpSender
 from ..tcp.sender import TcpSender
 
-PROTOCOLS = ("tcp", "dctcp", "dctcp+", "dctcp+norand", "tcp+", "d2tcp", "d2tcp+")
+#: All registered strategy names at import time, in registration order.
+#: Kept as a module constant for parametrized tests and the fuzzer; new
+#: registrations after import are still reachable through spec_for/get_cc.
+PROTOCOLS = cc_names()
 
 
 @dataclass
@@ -42,28 +56,24 @@ class ProtocolSpec:
     plus_config: DctcpPlusConfig = field(default_factory=DctcpPlusConfig)
 
     def __post_init__(self) -> None:
-        if self.name not in PROTOCOLS:
-            raise ValueError(f"unknown protocol {self.name!r}; choose from {PROTOCOLS}")
+        self.cc = get_cc(self.name)  # raises on unknown names
         if self.name == "dctcp+norand":
             self.plus_config = self.plus_config.with_overrides(randomize=False)
 
     @property
     def is_plus(self) -> bool:
         """Whether the slow_time enhancement mechanism is active."""
-        return self.name in ("dctcp+", "dctcp+norand", "tcp+", "d2tcp+")
+        return self.cc.slow_time
 
     @property
     def label(self) -> str:
         """Display name matching the paper's figures."""
-        return {
-            "tcp": "TCP",
-            "dctcp": "DCTCP",
-            "dctcp+": "DCTCP+",
-            "dctcp+norand": "DCTCP+ (no desync)",
-            "tcp+": "TCP+",
-            "d2tcp": "D2TCP",
-            "d2tcp+": "D2TCP+",
-        }[self.name]
+        return self.cc.label
+
+    def install_network(self, tree: TwoTierTree) -> None:
+        """Run the strategy's network-side hook (if any) on a built tree."""
+        if self.cc.install_network is not None:
+            self.cc.install_network(tree)
 
     def make_sender(
         self,
@@ -79,45 +89,15 @@ class ProtocolSpec:
         ``deadline_ns`` is honoured by the deadline-aware variants and
         ignored by the rest.
         """
-        if self.name in ("dctcp+", "dctcp+norand"):
-            return DctcpPlusSender(
-                sim,
-                host,
-                dst_node_id,
-                flow_id,
-                config=self.tcp_config,
-                plus_config=self.plus_config,
-                on_complete=on_complete,
-            )
-        if self.name == "tcp+":
-            return RenoPlusSender(
-                sim, host, dst_node_id, flow_id,
-                config=self.tcp_config,
-                plus_config=self.plus_config,
-                on_complete=on_complete,
-            )
-        if self.name == "d2tcp":
-            return D2tcpSender(
-                sim, host, dst_node_id, flow_id, config=self.tcp_config,
-                on_complete=on_complete, deadline_ns=deadline_ns,
-            )
-        if self.name == "d2tcp+":
-            return D2tcpPlusSender(
-                sim, host, dst_node_id, flow_id,
-                config=self.tcp_config,
-                plus_config=self.plus_config,
-                on_complete=on_complete,
-                deadline_ns=deadline_ns,
-            )
-        if self.name == "dctcp":
-            return DctcpSender(
-                sim, host, dst_node_id, flow_id, config=self.tcp_config,
-                on_complete=on_complete,
-            )
-        return TcpSender(
-            sim, host, dst_node_id, flow_id,
-            config=self.tcp_config.with_overrides(ecn_enabled=False),
+        return self.cc.build(
+            sim,
+            host,
+            dst_node_id,
+            flow_id,
+            tcp_config=self.tcp_config,
+            plus_config=self.plus_config,
             on_complete=on_complete,
+            deadline_ns=deadline_ns,
         )
 
 

@@ -36,6 +36,10 @@ TINY_KWARGS: Dict[str, dict] = {
     "fig12": dict(n_values=(4, 8), rounds=2, seeds=(1,), round_deadline_ns=250_000_000),
     "fig13": dict(n_queries=12, n_background=12, n_short=4, query_fanout=6, seed=1),
     "fig14": dict(n_flows=6, bytes_per_flow=128 * 1024, rounds=2, seed=1),
+    # Every registered CC (including pulser/tbtcp and their inc-bit network
+    # path) over a small fan-in spread; traced, so the digest also pins the
+    # telemetry-derived taxonomy columns.
+    "arena": dict(n_values=(4, 8), rounds=2, seeds=(1,)),
 }
 
 

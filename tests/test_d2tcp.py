@@ -93,6 +93,47 @@ class TestPlusVariant:
         assert s.slow_time_ns > 0
 
 
+class TestFirstRttDeadline:
+    """Regression: a congestion event before the first RTT sample must use
+    the configured baseline RTT, not a ~1 ns placeholder that inflated the
+    rate estimate ~1e5x and clamped d to D_MIN (hardest backoff exactly
+    when the deadline clock just started)."""
+
+    def unseeded(self, deadline_ns, total=40 * MSS):
+        sim = Simulator()
+        tree = build_dumbbell(sim, n_senders=1)
+        cfg = TcpConfig(seed_rtt_ns=None, rto_min_ns=5 * MS)
+        s = D2tcpSender(
+            sim, tree.servers[0], tree.aggregator.node_id, next_flow_id(),
+            config=cfg, deadline_ns=deadline_ns,
+        )
+        s.send(total)
+        assert s.rtt.srtt_ns is None
+        return sim, s
+
+    def test_fallback_matches_hand_computed_d(self):
+        sim, s = self.unseeded(deadline_ns=50 * MS)
+        baseline = s.rtt.rto_initial_ns
+        remaining = s.total_bytes - s.snd_una
+        completion_ns = remaining * baseline / s.cwnd
+        expected = max(D_MIN, min(D_MAX, completion_ns / (50 * MS - sim.now)))
+        assert s._current_d() == pytest.approx(expected)
+
+    def test_tight_deadline_not_treated_as_far(self):
+        # A 2-MSS window against a 1 s baseline can't move 40 MSS in 50 ms:
+        # the flow is behind and must back off *less* (d > 1), the exact
+        # opposite of the placeholder's D_MIN.
+        sim, s = self.unseeded(deadline_ns=50 * MS)
+        assert s._current_d() > 1.0
+
+    def test_missed_deadline_penalty_before_first_sample(self):
+        sim, s = self.unseeded(deadline_ns=10 * MS)
+        sim.run(until=20 * MS)
+        s.alpha = 0.5
+        assert s._current_d() == D_MAX
+        assert s._reduction_penalty() == pytest.approx(0.5 ** D_MAX)
+
+
 class TestWorkloadIntegration:
     def test_deadline_incast_counts_misses(self):
         sim = Simulator(seed=1)

@@ -142,6 +142,41 @@ class TestEceStateMachine:
         assert (4000, True) in ack_seqs
 
 
+class TestOutOfOrderCeChange:
+    """Regression: CE state updates for *every* arriving ECT segment, not
+    just in-order ones (Linux tcp_ecn_check_ce runs before queueing)."""
+
+    def test_ooo_marked_segment_flips_state(self):
+        sim, recv, trap = setup()
+        recv.on_packet(seg(0, ce=False))       # pending, state 0
+        recv.on_packet(seg(2000, ce=True))     # out of order + CE change
+        sim.run(until=1_000_000)
+        # Pending run flushed with the old state, then the dupACK carries
+        # the *new* state — previously the mark vanished entirely.
+        assert [(a.ack_seq, a.ece) for a in trap.acks] == [(1000, False), (1000, True)]
+        assert recv._ce_state is True
+
+    def test_ooo_return_to_clean_flips_back(self):
+        sim, recv, trap = setup()
+        recv.on_packet(seg(0, ce=True))        # state flips to 1, pending
+        recv.on_packet(seg(2000, ce=False))    # OOO + CE change back
+        sim.run(until=1_000_000)
+        assert [(a.ack_seq, a.ece) for a in trap.acks] == [(1000, True), (1000, False)]
+        assert recv._ce_state is False
+
+    def test_hole_fill_coalesces_with_flipped_state(self):
+        sim, recv, trap = setup()
+        recv.on_packet(seg(0, ce=False))
+        recv.on_packet(seg(1000, ce=False))    # delayed ack (2000, ECE=0)
+        recv.on_packet(seg(3000, ce=True))     # OOO: state -> 1, dupACK(ECE=1)
+        recv.on_packet(seg(2000, ce=True))     # fills the hole to 4000
+        sim.run(until=100_000_000)
+        assert (2000, False) in [(a.ack_seq, a.ece) for a in trap.acks]
+        # The ACK covering the marked run echoes the mark.
+        assert trap.acks[-1].ack_seq == 4000
+        assert trap.acks[-1].ece
+
+
 class TestClose:
     def test_close_cancels_timer(self):
         sim, recv, trap = setup(delack_timeout_ns=5 * MS)

@@ -5,6 +5,9 @@ complete, the switch queue stays regulated, and the marked-fraction
 estimate remains meaningful — while the ACK-path packet count drops.
 """
 
+import pytest
+
+from repro.net.packet import make_data_packet
 from repro.net.topology import TopologyParams, build_dumbbell
 from repro.sim.engine import Simulator
 from repro.tcp.config import TcpConfig
@@ -14,6 +17,7 @@ from repro.tcp.receiver import TcpReceiver
 from repro.workloads.ids import next_flow_id
 
 TOTAL = 2_000_000
+MSS = 1460
 
 
 def run_pair(receiver_cls):
@@ -72,3 +76,48 @@ class TestDelayedAckDctcp:
         sim_i, *_ = run_pair(TcpReceiver)
         # delayed ACKs must not degrade throughput by more than ~30%
         assert sim_d.now < 1.3 * sim_i.now
+
+
+class TestAlphaPinnedToMarkSequence:
+    """Pin Eq. (1) against a hand-written CE sequence routed through the
+    delayed-ACK receiver's coalesced ECN echo."""
+
+    def test_alpha_matches_hand_computed_ewma(self):
+        # Receiver side: six MSS-sized segments with CE = F F T T F F.
+        sim = Simulator()
+        tree = build_dumbbell(sim, n_senders=1)
+        acks = []
+        tree.servers[0].register_flow(
+            7, type("Trap", (), {"on_packet": lambda s, p: acks.append(p)})()
+        )
+        recv = DelayedAckReceiver(
+            sim, tree.aggregator, tree.servers[0].node_id, 7, ack_every=2
+        )
+        for i, ce in enumerate([False, False, True, True, False, False]):
+            pkt = make_data_packet(7, 0, 0, seq=i * MSS, payload_len=MSS, ect=True)
+            pkt.ce = ce
+            recv.on_packet(pkt)
+        sim.run_until_idle()
+        # Coalescing: clean pair, marked pair, clean pair -> three ACKs.
+        assert [(a.ack_seq, a.ece) for a in acks] == [
+            (2 * MSS, False), (4 * MSS, True), (6 * MSS, False),
+        ]
+
+        # Sender side: replay the ACK stream into a DCTCP sender.
+        sim2 = Simulator()
+        tree2 = build_dumbbell(sim2, n_senders=1)
+        cfg = TcpConfig(seed_rtt_ns=100_000)
+        s = DctcpSender(sim2, tree2.servers[0], tree2.aggregator.node_id, next_flow_id(), cfg)
+        s.cwnd = 20.0 * MSS
+        s.send(6 * MSS)
+        assert s.snd_nxt == 6 * MSS  # window 2 closes on the final ACK
+        for ack in acks:
+            ack.dst = tree2.servers[0].node_id
+            s._on_ack(ack)
+
+        g = cfg.dctcp_g
+        # Window 1 ends on the first ACK (win_end_seq starts at 0): F = 0.
+        # Window 2 covers the next two ACKs: 2 MSS marked of 4 MSS -> F = 1/2.
+        expected = (1.0 - g) * ((1.0 - g) * cfg.dctcp_alpha_init + g * 0.0) + g * 0.5
+        assert s.alpha == pytest.approx(expected)
+        assert s.ecn_reductions == 1

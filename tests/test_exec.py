@@ -150,8 +150,31 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         cache.path_for(spec).write_text("not json{")
         assert cache.get(spec) is None
+        assert (cache.hits, cache.misses) == (0, 1)
         result = SerialExecutor(cache=cache).map([spec])[0]
         assert cache.get(spec) == result
+
+    def test_truncated_entry_counts_exactly_one_miss(self, tmp_path):
+        spec = TINY_BATCH[0]
+        cache = ResultCache(tmp_path)
+        result = SerialExecutor(cache=cache).map([spec])[0]
+        assert result is not None
+        full = cache.path_for(spec).read_text()
+        cache.path_for(spec).write_text(full[: len(full) // 2])
+        cache.hits = cache.misses = 0
+        assert cache.get(spec) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+
+    def test_non_object_entry_counts_exactly_one_miss(self, tmp_path):
+        # A file truncated all the way down to valid-but-wrong JSON ("null",
+        # a bare list) must be a counted miss, not an executor crash.
+        spec = TINY_BATCH[0]
+        cache = ResultCache(tmp_path)
+        for blob in ("null", "[]", '"entry"'):
+            cache.path_for(spec).write_text(blob)
+            cache.hits = cache.misses = 0
+            assert cache.get(spec) is None
+            assert (cache.hits, cache.misses) == (0, 1)
 
     def test_entry_with_mismatched_spec_is_a_miss(self, tmp_path):
         spec = TINY_BATCH[0]
@@ -160,7 +183,9 @@ class TestResultCache:
         payload = json.loads(cache.path_for(spec).read_text())
         payload["spec"]["n_flows"] = 999
         cache.path_for(spec).write_text(json.dumps(payload))
+        cache.hits = cache.misses = 0
         assert cache.get(spec) is None
+        assert (cache.hits, cache.misses) == (0, 1)
         assert result is not None
 
 

@@ -14,8 +14,16 @@ from repro.workloads.protocols import PROTOCOLS, spec_for
 class TestSpec:
     def test_known_protocols(self):
         assert set(PROTOCOLS) == {
-            "tcp", "dctcp", "dctcp+", "dctcp+norand", "tcp+", "d2tcp", "d2tcp+"
+            "tcp", "dctcp", "dctcp+", "dctcp+norand", "tcp+", "d2tcp", "d2tcp+",
+            "pulser", "tbtcp",
         }
+
+    def test_paper_variants_lead_in_paper_order(self):
+        # The registry preserves the historical ordering for the original
+        # variants; arena competitors append after them.
+        assert PROTOCOLS[:7] == (
+            "tcp", "dctcp", "dctcp+", "dctcp+norand", "tcp+", "d2tcp", "d2tcp+"
+        )
 
     def test_rejects_unknown(self):
         with pytest.raises(ValueError):

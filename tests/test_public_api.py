@@ -7,6 +7,8 @@ fine; removals must be deliberate and update the snapshot here).
 
 from __future__ import annotations
 
+import pytest
+
 import repro
 
 #: The v1.2 public surface.  Extend when the API grows; removing a name
@@ -28,6 +30,12 @@ EXPECTED_SURFACE = {
     "TcpReceiver",
     "DctcpSender",
     "TimeoutKind",
+    # congestion-control strategy registry
+    "CongestionControl",
+    "register",
+    "get_cc",
+    "cc_names",
+    "cc_labels",
     "DctcpPlusConfig",
     "DctcpPlusSender",
     "DctcpPlusState",
@@ -98,6 +106,30 @@ def test_effective_tcp_config_applies_plus_floor():
     assert resolved.min_cwnd_mss == 1.0
     assert effective_tcp_config().min_cwnd_mss == TcpConfig().min_cwnd_mss
     assert effective_tcp_config(ecn_enabled=True).ecn_enabled is True
+
+
+def test_effective_tcp_config_resolves_cc_dimension():
+    from repro.config import DctcpPlusConfig, TcpConfig, effective_tcp_config
+
+    plus = DctcpPlusConfig(min_cwnd_mss=1.0)
+    # The plus floor applies only to strategies carrying the slow_time law.
+    assert effective_tcp_config(plus=plus, cc="dctcp+").min_cwnd_mss == 1.0
+    assert effective_tcp_config(plus=plus, cc="dctcp").min_cwnd_mss == TcpConfig().min_cwnd_mss
+    # ECN stance comes from the registry metadata...
+    assert effective_tcp_config(cc="tcp").ecn_enabled is False
+    assert effective_tcp_config(cc="pulser").ecn_enabled is True
+    # ...unless explicitly overridden.
+    assert effective_tcp_config(cc="tcp", ecn_enabled=True).ecn_enabled is True
+    with pytest.raises(ValueError):
+        effective_tcp_config(cc="unknown-cc")
+
+
+def test_cc_registry_exported():
+    from repro import CongestionControl, cc_labels, cc_names, get_cc
+
+    assert "dctcp+" in cc_names()
+    assert isinstance(get_cc("dctcp+"), CongestionControl)
+    assert cc_labels()["dctcp+"] == "DCTCP+"
 
 
 def test_telemetry_collectors_share_the_protocol():

@@ -45,6 +45,14 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             DctcpPlusConfig(backoff_unit_mode="wrong")
 
+    def test_rejects_negative_decay_interval(self):
+        with pytest.raises(ValueError):
+            DctcpPlusConfig(decay_interval_ns=-1)
+
+    def test_rejects_bad_decay_interval_mode(self):
+        with pytest.raises(ValueError):
+            DctcpPlusConfig(decay_interval_mode="wrong")
+
     def test_with_overrides(self):
         cfg = DctcpPlusConfig().with_overrides(divisor_factor=4.0)
         assert cfg.divisor_factor == 4.0

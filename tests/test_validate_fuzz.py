@@ -32,6 +32,17 @@ class TestDrawSpec:
         # small round deadline: fault-heavy draws must not run 60 sim-sec
         assert dict(spec.incast_overrides)["round_deadline_ns"] <= 5_000_000_000
 
+    def test_draws_cover_the_cc_dimension(self):
+        from repro.validate.fuzz import FUZZ_PROTOCOLS
+
+        assert "pulser" in FUZZ_PROTOCOLS and "tbtcp" in FUZZ_PROTOCOLS
+        specs = [draw_spec(s) for s in range(1, 60)]
+        routed = [s for s in specs if s.cc]
+        # ~a fifth of draws set the explicit cc dimension
+        assert 3 <= len(routed) <= 30
+        assert all(s.cc_name == s.cc for s in routed)
+        assert all(s.cc_name == s.protocol for s in specs if not s.cc)
+
 
 class TestBudgetParsing:
     @pytest.mark.parametrize(
