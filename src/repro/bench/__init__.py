@@ -13,6 +13,7 @@ from .harness import (
     compare,
     environment_info,
     load_baseline,
+    measure_allocations,
     run_benchmarks,
     time_scenario,
     write_baseline,
@@ -27,6 +28,7 @@ __all__ = [
     "compare",
     "environment_info",
     "load_baseline",
+    "measure_allocations",
     "run_benchmarks",
     "select",
     "time_scenario",

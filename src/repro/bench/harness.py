@@ -18,11 +18,13 @@ reported informationally as the long-run perf trajectory.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import platform
 import statistics
 import time
+import tracemalloc
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -35,19 +37,46 @@ BASELINE_SCHEMA = 1
 
 @dataclass
 class ScenarioTiming:
-    """Median timing of one scenario over ``repeats`` runs."""
+    """Median timing of one scenario over ``repeats`` runs.
+
+    The allocation columns come from one *extra* instrumented run (see
+    :func:`measure_allocations`): ``tracemalloc`` roughly halves engine
+    throughput, so it never runs during the timed repeats.
+    """
 
     name: str
     events: int
     median_events_per_sec: float
     median_wall_s: float
+    alloc_peak_kb: float
+    gc_collections: int
 
     def to_dict(self) -> Dict[str, object]:
         return {
             "events": self.events,
             "median_events_per_sec": round(self.median_events_per_sec, 1),
             "median_wall_s": round(self.median_wall_s, 4),
+            "alloc_peak_kb": round(self.alloc_peak_kb, 1),
+            "gc_collections": self.gc_collections,
         }
+
+
+def measure_allocations(scenario: BenchScenario) -> Tuple[float, int]:
+    """One instrumented run: (tracemalloc peak KiB, GC collections).
+
+    Object churn shows up here long before it shows up in wall clock —
+    the struct-of-arrays packet pool exists precisely to keep this flat
+    as the event count grows, so the bench report tracks it per scenario.
+    """
+    collections_before = sum(s["collections"] for s in gc.get_stats())
+    tracemalloc.start()
+    try:
+        run_scenario(scenario.spec)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    collections = sum(s["collections"] for s in gc.get_stats()) - collections_before
+    return peak / 1024.0, collections
 
 
 def time_scenario(scenario: BenchScenario, repeats: int) -> ScenarioTiming:
@@ -62,11 +91,14 @@ def time_scenario(scenario: BenchScenario, repeats: int) -> ScenarioTiming:
         walls.append(time.perf_counter() - started)
         events = result.events_processed
     median_wall = statistics.median(walls)
+    alloc_peak_kb, gc_collections = measure_allocations(scenario)
     return ScenarioTiming(
         name=scenario.name,
         events=events,
         median_events_per_sec=events / median_wall,
         median_wall_s=median_wall,
+        alloc_peak_kb=alloc_peak_kb,
+        gc_collections=gc_collections,
     )
 
 
@@ -96,7 +128,9 @@ def run_benchmarks(
             progress(
                 f"{scenario.name}: {timing.events} events, "
                 f"{timing.median_events_per_sec:,.0f} events/s, "
-                f"{timing.median_wall_s:.3f} s"
+                f"{timing.median_wall_s:.3f} s, "
+                f"alloc peak {timing.alloc_peak_kb:,.0f} KiB, "
+                f"{timing.gc_collections} GC collections"
             )
     return {
         "schema": BASELINE_SCHEMA,

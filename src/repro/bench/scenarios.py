@@ -74,6 +74,17 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
         _incast("dctcp+", 256),
     ),
     BenchScenario(
+        "incast-dctcp+-n1024",
+        "1024-flow incast, DCTCP+, 10 rounds (the massive-concurrency regime)",
+        _incast("dctcp+", 1024),
+        quick=True,
+    ),
+    BenchScenario(
+        "incast-dctcp+-n4096",
+        "4096-flow incast, DCTCP+, 2 rounds (full runs only; gated out of --quick)",
+        _incast("dctcp+", 4096, rounds=2),
+    ),
+    BenchScenario(
         "fig11-background-mix",
         "64-flow DCTCP+ incast over 2 persistent background flows (Fig. 11 mix)",
         ScenarioSpec.create(

@@ -3,6 +3,11 @@
 Used by the failure-injection tests (and available to experiments) to
 exercise retransmission machinery deterministically: random i.i.d. loss,
 drop-the-nth-packet, and fully scripted drop decisions.
+
+Drop policies receive a :class:`~repro.net.pool.PacketView` (attribute
+access over the pooled columns), so policy code reads ``packet.is_ack``,
+``packet.seq`` etc. exactly as it did against packet objects.  The view
+is built per *offered* packet — faulty links are a cold path by design.
 """
 
 from __future__ import annotations
@@ -12,13 +17,13 @@ from typing import Callable, TYPE_CHECKING
 
 from ..sim.engine import Simulator
 from .link import Link
+from .pool import PacketPool, PacketView
 
 if TYPE_CHECKING:  # pragma: no cover
     from .node import Node
-    from .packet import Packet
 
-#: decides whether a packet is dropped; receives (packet, index-of-packet)
-DropPolicy = Callable[["Packet", int], bool]
+#: decides whether a packet is dropped; receives (packet-view, index-of-packet)
+DropPolicy = Callable[[PacketView, int], bool]
 
 
 class FaultyLink(Link):
@@ -26,10 +31,11 @@ class FaultyLink(Link):
 
     Drops happen *after* serialization (the frame is corrupted on the
     wire), which is also where they are invisible to the sender — exactly
-    the silent-loss behaviour that produces FLoss-TO.
+    the silent-loss behaviour that produces FLoss-TO.  An injected drop
+    ends the packet's journey, so its handle is freed here.
     """
 
-    __slots__ = ("policy", "offered_packets", "injected_drops")
+    __slots__ = ("policy", "offered_packets", "injected_drops", "_pool")
 
     def __init__(
         self,
@@ -42,14 +48,16 @@ class FaultyLink(Link):
         self.policy = policy
         self.offered_packets = 0
         self.injected_drops = 0
+        self._pool = PacketPool.of(dst.sim) if dst is not None else None
 
-    def propagate(self, sim: Simulator, packet: "Packet") -> None:
+    def propagate(self, sim: Simulator, h: int) -> None:
         index = self.offered_packets
         self.offered_packets += 1
-        if self.policy(packet, index):
+        if self.policy(PacketView(self._pool, h), index):
             self.injected_drops += 1
+            self._pool.free(h)
             return
-        super().propagate(sim, packet)
+        super().propagate(sim, h)
 
 
 def random_loss(rng: random.Random, probability: float) -> DropPolicy:
@@ -57,7 +65,7 @@ def random_loss(rng: random.Random, probability: float) -> DropPolicy:
     if not 0.0 <= probability <= 1.0:
         raise ValueError(f"probability must be in [0, 1], got {probability}")
 
-    def _policy(packet: "Packet", index: int) -> bool:
+    def _policy(packet: PacketView, index: int) -> bool:
         return rng.random() < probability
 
     return _policy
@@ -67,7 +75,7 @@ def drop_nth(*indices: int) -> DropPolicy:
     """Drop exactly the packets at the given 0-based offered positions."""
     targets = frozenset(indices)
 
-    def _policy(packet: "Packet", index: int) -> bool:
+    def _policy(packet: PacketView, index: int) -> bool:
         return index in targets
 
     return _policy
@@ -77,7 +85,7 @@ def drop_data_once(seq: int) -> DropPolicy:
     """Drop the first data segment whose sequence number equals ``seq``."""
     state = {"done": False}
 
-    def _policy(packet: "Packet", index: int) -> bool:
+    def _policy(packet: PacketView, index: int) -> bool:
         if not state["done"] and not packet.is_ack and packet.seq == seq:
             state["done"] = True
             return True

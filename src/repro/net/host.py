@@ -12,12 +12,12 @@ pressure into socket buffers rather than dropping on its own NIC.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Protocol
+from typing import Callable, Dict, Optional, Protocol
 
 from ..sim.engine import Simulator
 from .link import Link
 from .node import Node
-from .packet import Packet
+from .pool import PacketPool
 from .port import OutputPort
 from .queues import DropTailQueue
 
@@ -25,27 +25,47 @@ DEFAULT_NIC_BUFFER_BYTES = 1024 * 1024
 
 
 class FlowEndpoint(Protocol):
-    """Anything that consumes packets for one flow (sender or receiver)."""
+    """Anything that consumes packets for one flow (sender or receiver).
 
-    def on_packet(self, packet: Packet) -> None: ...
+    ``on_packet`` receives a live pool handle and owns it: the endpoint
+    frees it (directly or by forwarding it onward).
+    """
+
+    def on_packet(self, h: int) -> None: ...
 
 
 class Host(Node):
     """A server in the testbed (aggregator or worker)."""
 
-    __slots__ = ("nic", "_flows", "_flows_get", "undeliverable_packets")
+    __slots__ = (
+        "nic",
+        "pool",
+        "_flow_col",
+        "_pool_free",
+        "_flows",
+        "_dispatch",
+        "_dispatch_get",
+        "undeliverable_packets",
+    )
 
     def __init__(self, sim: Simulator, name: str = ""):
         super().__init__(sim, name)
         self.nic: Optional[OutputPort] = None
-        self._flows: Dict[int, FlowEndpoint] = {}
+        self.pool = PacketPool.of(sim)
         # Bound once: the demux lookup runs for every delivered packet.
-        self._flows_get = self._flows.get
+        self._flow_col = self.pool.flow_id
+        self._pool_free = self.pool.free
+        self._flows: Dict[int, FlowEndpoint] = {}
+        # Demux fast path: flow id -> the endpoint's bound on_packet, so
+        # delivery is one dict probe + one call.  Kept in lockstep with
+        # _flows by register/unregister (endpoints never rebind on_packet).
+        self._dispatch: Dict[int, Callable[[int], None]] = {}
+        self._dispatch_get = self._dispatch.get
         self.undeliverable_packets = 0
 
     def attach_link(self, link: Link, nic_buffer_bytes: int = DEFAULT_NIC_BUFFER_BYTES) -> None:
         """Connect the host's NIC to its access link."""
-        queue = DropTailQueue(nic_buffer_bytes, ecn_threshold_bytes=None)
+        queue = DropTailQueue(nic_buffer_bytes, ecn_threshold_bytes=None, pool=self.pool)
         self.nic = OutputPort(self.sim, link, queue, name=f"{self.name}:nic")
 
     def register_flow(self, flow_id: int, endpoint: FlowEndpoint) -> None:
@@ -53,19 +73,23 @@ class Host(Node):
         if flow_id in self._flows:
             raise ValueError(f"flow {flow_id} already registered on {self.name}")
         self._flows[flow_id] = endpoint
+        self._dispatch[flow_id] = endpoint.on_packet
 
     def unregister_flow(self, flow_id: int) -> None:
         self._flows.pop(flow_id, None)
+        self._dispatch.pop(flow_id, None)
 
-    def send(self, packet: Packet) -> bool:
+    def send(self, h: int) -> bool:
         """Transmit through the NIC; returns False on NIC-queue drop."""
         if self.nic is None:
             raise RuntimeError(f"host {self.name} has no attached link")
-        return self.nic.send(packet)
+        return self.nic.send(h)
 
-    def receive(self, packet: Packet) -> None:
-        endpoint = self._flows_get(packet.flow_id)
-        if endpoint is None:
+    def receive(self, h: int) -> None:
+        on_packet = self._dispatch_get(self._flow_col[h])
+        if on_packet is None:
+            # End of the line for a packet nobody claims: count and free.
             self.undeliverable_packets += 1
+            self._pool_free(h)
             return
-        endpoint.on_packet(packet)
+        on_packet(h)

@@ -16,7 +16,6 @@ from ..sim.units import GBPS, transmission_time_ns
 
 if TYPE_CHECKING:  # pragma: no cover
     from .node import Node
-    from .packet import Packet
 
 #: Paper testbed: GbE links, RTT ~100 us across the 2-tier tree.
 DEFAULT_RATE_BPS = GBPS
@@ -33,6 +32,7 @@ class Link:
         "delivered_packets",
         "delivered_bytes",
         "_ser_ns",
+        "_wire",
         "_dst_receive",
     )
 
@@ -57,21 +57,30 @@ class Link:
         self._ser_ns: Dict[int, int] = {}
         # dst may legitimately be None in unit tests that only exercise the
         # delay arithmetic; propagate() would fail on such a link either way.
-        self._dst_receive = dst.receive if dst is not None else None
+        if dst is not None:
+            from .pool import PacketPool
 
-    def serialization_delay(self, packet: "Packet") -> int:
-        """Time to clock ``packet`` onto the wire, in nanoseconds."""
-        wire_bytes = packet.wire_bytes
+            self._wire = PacketPool.of(dst.sim).wire_bytes
+            self._dst_receive = dst.receive
+        else:
+            self._wire = None
+            self._dst_receive = None
+
+    def serialization_delay(self, wire_bytes: int) -> int:
+        """Time to clock ``wire_bytes`` onto the wire, in nanoseconds."""
         delay = self._ser_ns.get(wire_bytes)
         if delay is None:
             delay = self._ser_ns[wire_bytes] = transmission_time_ns(wire_bytes, self.rate_bps)
         return delay
 
-    def propagate(self, sim: Simulator, packet: "Packet") -> None:
-        """Deliver ``packet`` to the far end after the propagation delay.
+    def propagate(self, sim: Simulator, h: int) -> None:
+        """Deliver handle ``h`` to the far end after the propagation delay.
 
         Called by the output port at the instant serialization completes.
+        (Ports fuse this into their pump for plain links; this method runs
+        for subclasses and direct callers.)  The arrival is one-shot and
+        never cancelled, so it schedules as a light event.
         """
         self.delivered_packets += 1
-        self.delivered_bytes += packet.wire_bytes
-        sim.schedule(self.prop_delay_ns, self._dst_receive, packet)
+        self.delivered_bytes += self._wire[h]
+        sim.schedule_light(self.prop_delay_ns, self._dst_receive, h)

@@ -5,13 +5,16 @@ from __future__ import annotations
 from itertools import count
 
 from ..sim.engine import Simulator
-from .packet import Packet
 
 _node_ids = count()
 
 
 class Node:
-    """Anything with an address that can receive packets."""
+    """Anything with an address that can receive packets.
+
+    ``receive`` takes a live pool handle (see :mod:`repro.net.pool`) and
+    owns it: the node either forwards it onward or frees it.
+    """
 
     __slots__ = ("sim", "node_id", "name")
 
@@ -20,7 +23,7 @@ class Node:
         self.node_id = next(_node_ids)
         self.name = name or f"node{self.node_id}"
 
-    def receive(self, packet: Packet) -> None:
+    def receive(self, h: int) -> None:
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -6,16 +6,24 @@ serialization finishes the frame is handed to the link for propagation and
 the next queued frame (if any) starts serializing.
 
 Every packet in every experiment crosses several ports, so the pump binds
-its collaborators (queue ops, link delay lookup, scheduler) once at
-construction instead of chasing attributes per packet.
+its collaborators (queue ops, wire-size column, link delay lookup,
+scheduler) once at construction instead of chasing attributes per packet,
+and it moves packet *handles* (see :mod:`repro.net.pool`), never objects.
 """
 
 from __future__ import annotations
 
 from ..sim.engine import Simulator
 from .link import Link
-from .packet import Packet
+from .pool import F_CE, F_ECT, F_INC
 from .queues import DropTailQueue
+
+# Captured at import: the pump inlines DropTailQueue's enqueue/dequeue, and
+# the inline gate must disengage if anyone has since swapped those methods
+# (the validate fuzzer's mutation testing does exactly that to prove the
+# checker catches accounting bugs).
+_PRISTINE_ENQUEUE = DropTailQueue.enqueue
+_PRISTINE_DEQUEUE = DropTailQueue.dequeue
 
 
 class OutputPort:
@@ -43,11 +51,17 @@ class OutputPort:
         "tx_bytes",
         "_enqueue",
         "_dequeue",
+        "_plain_queue",
         "_backlog",
+        "_wire",
         "_ser_delay",
         "_ser_get",
         "_propagate",
         "_schedule",
+        "_push_light",
+        "_finish",
+        "_prop_delay",
+        "_dst_receive",
     )
 
     def __init__(self, sim: Simulator, link: Link, queue: DropTailQueue, name: str = ""):
@@ -59,10 +73,27 @@ class OutputPort:
         self.tx_bytes = 0
         self._enqueue = queue.enqueue
         self._dequeue = queue.dequeue
+        # Exactly-DropTailQueue egress gets its enqueue/dequeue inlined
+        # into the pump (marking, occupancy and departure counters, nothing
+        # virtual); subclasses (e.g. the shared-buffer _PooledQueue) and
+        # monkeypatched queue methods keep the indirect call so their
+        # overrides stay in the loop.
+        self._plain_queue = (
+            queue.__class__ is DropTailQueue
+            and DropTailQueue.enqueue is _PRISTINE_ENQUEUE
+            and DropTailQueue.dequeue is _PRISTINE_DEQUEUE
+        )
         # The queue's backing deque, tested for emptiness before paying the
         # dequeue call; roughly half of all pump polls find nothing queued.
         self._backlog = queue._queue
+        # Wire-size column of the pool backing this queue's packets.
+        self._wire = queue.pool.wire_bytes
         self._schedule = sim.schedule
+        # Serialization-finish and propagation-arrival are one-shot and
+        # never cancelled, so the pump schedules them as light events
+        # (no Event allocation, no cancel bookkeeping) through the bound
+        # absolute-time primitive — a direct C call in native mode.
+        self._push_light = sim.push_light
         self.link = link  # property: also binds the link fast paths
         hooks = sim.hooks
         if hooks is not None:
@@ -86,14 +117,64 @@ class OutputPort:
         # directly and only fall back to the computing method on a miss.
         self._ser_get = link._ser_ns.get
         self._propagate = link.propagate
+        if link.__class__ is Link and link.dst is not None:
+            # A plain link is pure bookkeeping + a constant-delay hop, so
+            # its propagate() is fused into the pump (_finish_tx): the
+            # delivery schedules straight onto dst.receive with no
+            # intermediate call frame.  Subclasses (FaultyLink et al.)
+            # override propagate() and keep the indirect path.
+            self._prop_delay = link.prop_delay_ns
+            self._dst_receive = link._dst_receive
+            self._finish = self._finish_tx
+        else:
+            self._prop_delay = None
+            self._dst_receive = None
+            self._finish = self._finish_tx_indirect
 
-    def send(self, packet: Packet) -> bool:
-        """Admit ``packet`` to the egress queue; start the pump if idle.
+    def send(self, h: int) -> bool:
+        """Admit handle ``h`` to the egress queue; start the pump if idle.
 
-        Returns False when the queue dropped the packet.
+        Returns False when the queue dropped the packet (the handle is
+        freed by the queue in that case and must not be used again).
         """
-        if not self._enqueue(packet):
+        if not self._plain_queue:
+            if not self._enqueue(h):
+                return False
+            if not self._busy:
+                self._start_next()
+            return True
+        # Inlined DropTailQueue.enqueue (keep in sync with queues.py):
+        # ECN/INC marking against the occupancy the arriving packet sees,
+        # then drop-tail admission.
+        q = self.queue
+        flags_col = q._flags
+        occupancy = q.occupancy_bytes
+        wire_bytes = self._wire[h]
+        flags = flags_col[h]
+        threshold = q.ecn_threshold_bytes
+        if threshold is not None and flags & F_ECT and occupancy > threshold:
+            if not (flags & F_CE):
+                flags = flags_col[h] = flags | F_CE
+                q.marked_packets += 1
+                if q.on_mark is not None:
+                    q.on_mark(h)
+        inc_threshold = q.inc_threshold_bytes
+        if inc_threshold is not None and occupancy > inc_threshold and not (flags & F_INC):
+            flags_col[h] = flags | F_INC
+            q.inc_marked_packets += 1
+        if occupancy + wire_bytes > q.capacity_bytes:
+            q.dropped_packets += 1
+            q.dropped_bytes += wire_bytes
+            if q.on_drop is not None:
+                q.on_drop(h)
+            q._pool_free(h)
             return False
+        self._backlog.append(h)
+        q.occupancy_bytes = occupancy + wire_bytes
+        q.enqueued_packets += 1
+        q.enqueued_bytes += wire_bytes
+        if q.on_enqueue is not None:
+            q.on_enqueue(h)
         if not self._busy:
             self._start_next()
         return True
@@ -104,18 +185,72 @@ class OutputPort:
         return self.queue.occupancy_bytes
 
     def _start_next(self) -> None:
-        if not self._backlog:
+        backlog = self._backlog
+        if not backlog:
             self._busy = False
             return
-        packet = self._dequeue()
+        if self._plain_queue:
+            # Inlined DropTailQueue.dequeue (keep in sync with queues.py).
+            h = backlog.popleft()
+            q = self.queue
+            wire_bytes = self._wire[h]
+            q.occupancy_bytes -= wire_bytes
+            q.dequeued_packets += 1
+            q.dequeued_bytes += wire_bytes
+        else:
+            h = self._dequeue()
+            wire_bytes = self._wire[h]
         self._busy = True
-        delay = self._ser_get(packet.wire_bytes)
+        delay = self._ser_get(wire_bytes)
         if delay is None:
-            delay = self._ser_delay(packet)
-        self._schedule(delay, self._finish_tx, packet)
+            delay = self._ser_delay(wire_bytes)
+        self._push_light(self.sim.now + delay, self._finish, h)
 
-    def _finish_tx(self, packet: Packet) -> None:
+    def _finish_tx(self, h: int) -> None:
+        # Fused fast path (plain Link only): port + link bookkeeping, the
+        # propagation hop straight onto the destination's receive, then the
+        # next frame's serialization — one callback per wire departure.
+        if self._prop_delay is None:
+            # The link was spliced (e.g. to a FaultyLink) while this frame
+            # was on the wire; deliver it through the new link's propagate,
+            # exactly as the pre-fusion pump did.
+            self._finish_tx_indirect(h)
+            return
+        wire_bytes = self._wire[h]
         self.tx_packets += 1
-        self.tx_bytes += packet.wire_bytes
-        self._propagate(self.sim, packet)
+        self.tx_bytes += wire_bytes
+        link = self._link
+        link.delivered_packets += 1
+        link.delivered_bytes += wire_bytes
+        now = self.sim.now
+        push = self._push_light
+        push(now + self._prop_delay, self._dst_receive, h)
+        # Inlined _start_next: the pump is mid-transmission, so _busy is
+        # already True and only the went-idle transition needs a store.
+        backlog = self._backlog
+        if not backlog:
+            self._busy = False
+            return
+        if self._plain_queue:
+            # Inlined DropTailQueue.dequeue (keep in sync with queues.py).
+            nxt = backlog.popleft()
+            q = self.queue
+            wire_bytes = self._wire[nxt]
+            q.occupancy_bytes -= wire_bytes
+            q.dequeued_packets += 1
+            q.dequeued_bytes += wire_bytes
+        else:
+            nxt = self._dequeue()
+            wire_bytes = self._wire[nxt]
+        delay = self._ser_get(wire_bytes)
+        if delay is None:
+            delay = self._ser_delay(wire_bytes)
+        push(now + delay, self._finish, nxt)
+
+    def _finish_tx_indirect(self, h: int) -> None:
+        # Virtual path for Link subclasses whose propagate() does more
+        # than bookkeeping (fault injection, scripted drops).
+        self.tx_packets += 1
+        self.tx_bytes += self._wire[h]
+        self._propagate(self.sim, h)
         self._start_next()

@@ -5,6 +5,12 @@ The switch model in the paper's testbed uses a **static** per-port buffer
 on *enqueue* when the instantaneous queue occupancy exceeds the threshold
 ``K`` (32 KB).  Marking happens before the drop decision is taken on the
 incoming packet, mirroring a real egress pipeline (mark, then try to admit).
+
+Queues operate on pooled packet **handles** (see :mod:`repro.net.pool`):
+the flag and wire-size columns are bound once at construction and indexed
+per packet, and the queue owns the handle of any packet it drops — the
+drop is the end of that packet's journey, so the handle is freed here
+(after ``on_drop`` fires, while the fields are still readable).
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Optional
 
-from .packet import Packet
+from .pool import F_CE, F_ECT, F_INC, PacketPool
 
 #: Paper defaults (Section III / VI.A).
 DEFAULT_BUFFER_BYTES = 128 * 1024
@@ -32,10 +38,13 @@ class DropTailQueue:
         packet is admitted) is at or above this threshold.  ``None`` disables
         marking (plain drop-tail, used for host NIC queues).
     on_drop / on_mark / on_enqueue:
-        Optional instrumentation callbacks invoked with the packet
+        Optional instrumentation callbacks invoked with the packet handle
         (``on_enqueue`` fires after a successful admit, once occupancy
         reflects the new packet; the telemetry layer's queue
-        high-watermark tracking hangs off it).
+        high-watermark tracking hangs off it).  ``on_drop`` fires while the
+        dropped handle is still live; the queue frees it right after.
+    pool:
+        The owning simulation's :class:`~repro.net.pool.PacketPool`.
     """
 
     __slots__ = (
@@ -43,6 +52,10 @@ class DropTailQueue:
         "ecn_threshold_bytes",
         "inc_threshold_bytes",
         "inc_marked_packets",
+        "pool",
+        "_flags",
+        "_wire",
+        "_pool_free",
         "_queue",
         "occupancy_bytes",
         "enqueued_packets",
@@ -61,9 +74,11 @@ class DropTailQueue:
         self,
         capacity_bytes: int = DEFAULT_BUFFER_BYTES,
         ecn_threshold_bytes: Optional[int] = DEFAULT_ECN_THRESHOLD,
-        on_drop: Optional[Callable[[Packet], None]] = None,
-        on_mark: Optional[Callable[[Packet], None]] = None,
-        on_enqueue: Optional[Callable[[Packet], None]] = None,
+        on_drop: Optional[Callable[[int], None]] = None,
+        on_mark: Optional[Callable[[int], None]] = None,
+        on_enqueue: Optional[Callable[[int], None]] = None,
+        *,
+        pool: PacketPool,
     ):
         if capacity_bytes <= 0:
             raise ValueError(f"queue capacity must be positive, got {capacity_bytes}")
@@ -75,7 +90,13 @@ class DropTailQueue:
         #: disables the detector entirely — see repro.tcp.pulser.
         self.inc_threshold_bytes: Optional[int] = None
         self.inc_marked_packets = 0
-        self._queue: Deque[Packet] = deque()
+        self.pool = pool
+        # Column views bound once; pool growth extends in place, so these
+        # references stay valid for the queue's lifetime.
+        self._flags = pool.flags
+        self._wire = pool.wire_bytes
+        self._pool_free = pool.free
+        self._queue: Deque[int] = deque()
         self.occupancy_bytes = 0
         self.enqueued_packets = 0
         self.dequeued_packets = 0
@@ -91,56 +112,59 @@ class DropTailQueue:
     def __len__(self) -> int:
         return len(self._queue)
 
-    def enqueue(self, packet: Packet) -> bool:
-        """Admit ``packet``; returns False (and counts a drop) on overflow.
+    def enqueue(self, h: int) -> bool:
+        """Admit handle ``h``; returns False (and counts a drop) on overflow.
 
         ECN marking uses the occupancy *including* the queued bytes already
         present (instantaneous queue length seen by the arriving packet), the
         same rule as the DCTCP switch: mark if ``queue length > K``.
 
-        Runs once per packet per hop; occupancy and wire size are read into
-        locals once.
+        Runs once per packet per hop; occupancy, flags and wire size are
+        read into locals once.  A dropped packet's handle is freed here.
         """
+        flags_col = self._flags
         occupancy = self.occupancy_bytes
-        wire_bytes = packet.wire_bytes
+        wire_bytes = self._wire[h]
+        flags = flags_col[h]
         threshold = self.ecn_threshold_bytes
-        if threshold is not None and packet.ect and occupancy > threshold:
-            if not packet.ce:
-                packet.ce = True
+        if threshold is not None and flags & F_ECT and occupancy > threshold:
+            if not (flags & F_CE):
+                flags = flags_col[h] = flags | F_CE
                 self.marked_packets += 1
                 if self.on_mark is not None:
-                    self.on_mark(packet)
+                    self.on_mark(h)
         inc_threshold = self.inc_threshold_bytes
-        if inc_threshold is not None and occupancy > inc_threshold and not packet.inc:
-            packet.inc = True
+        if inc_threshold is not None and occupancy > inc_threshold and not (flags & F_INC):
+            flags_col[h] = flags | F_INC
             self.inc_marked_packets += 1
         if occupancy + wire_bytes > self.capacity_bytes:
             self.dropped_packets += 1
             self.dropped_bytes += wire_bytes
             if self.on_drop is not None:
-                self.on_drop(packet)
+                self.on_drop(h)
+            self._pool_free(h)
             return False
-        self._queue.append(packet)
+        self._queue.append(h)
         self.occupancy_bytes = occupancy + wire_bytes
         self.enqueued_packets += 1
         self.enqueued_bytes += wire_bytes
         if self.on_enqueue is not None:
-            self.on_enqueue(packet)
+            self.on_enqueue(h)
         return True
 
-    def dequeue(self) -> Optional[Packet]:
-        """Remove and return the head-of-line packet (None when empty)."""
+    def dequeue(self) -> Optional[int]:
+        """Remove and return the head-of-line handle (None when empty)."""
         queue = self._queue
         if not queue:
             return None
-        packet = queue.popleft()
-        wire_bytes = packet.wire_bytes
+        h = queue.popleft()
+        wire_bytes = self._wire[h]
         self.occupancy_bytes -= wire_bytes
         # Departure counters close the conservation law the validate layer
         # sweeps: enqueued == dequeued + resident, in packets and bytes.
         self.dequeued_packets += 1
         self.dequeued_bytes += wire_bytes
-        return packet
+        return h
 
     @property
     def is_empty(self) -> bool:

@@ -24,7 +24,7 @@ from typing import List, Optional
 from ..sim.engine import Simulator
 from .link import Link
 from .node import Node
-from .packet import Packet
+from .pool import PacketPool
 from .port import OutputPort
 from .queues import DEFAULT_ECN_THRESHOLD, DropTailQueue
 
@@ -34,30 +34,31 @@ class _PooledQueue(DropTailQueue):
 
     __slots__ = ("switch_ref",)
 
-    def __init__(self, capacity_bytes, ecn_threshold_bytes, switch_ref):
-        super().__init__(capacity_bytes, ecn_threshold_bytes)
+    def __init__(self, capacity_bytes, ecn_threshold_bytes, switch_ref, pool):
+        super().__init__(capacity_bytes, ecn_threshold_bytes, pool=pool)
         self.switch_ref = switch_ref
 
-    def enqueue(self, packet: Packet) -> bool:
-        pool = self.switch_ref
-        wire_bytes = packet.wire_bytes
-        if pool._pool_occupancy + wire_bytes > pool.shared_pool_bytes:
+    def enqueue(self, h: int) -> bool:
+        switch = self.switch_ref
+        wire_bytes = self._wire[h]
+        if switch._pool_occupancy + wire_bytes > switch.shared_pool_bytes:
             self.dropped_packets += 1
             self.dropped_bytes += wire_bytes
-            pool.pool_drops += 1
+            switch.pool_drops += 1
             if self.on_drop is not None:
-                self.on_drop(packet)
+                self.on_drop(h)
+            self._pool_free(h)
             return False
-        if super().enqueue(packet):
-            pool._pool_occupancy += wire_bytes
+        if super().enqueue(h):
+            switch._pool_occupancy += wire_bytes
             return True
         return False
 
     def dequeue(self):
-        packet = super().dequeue()
-        if packet is not None:
-            self.switch_ref._pool_occupancy -= packet.wire_bytes
-        return packet
+        h = super().dequeue()
+        if h is not None:
+            self.switch_ref._pool_occupancy -= self._wire[h]
+        return h
 
 
 class SharedBufferSwitch(Node):
@@ -65,6 +66,9 @@ class SharedBufferSwitch(Node):
 
     __slots__ = (
         "ports",
+        "pool",
+        "_dst_col",
+        "_pkt_free",
         "_routes",
         "shared_pool_bytes",
         "per_port_cap_bytes",
@@ -86,6 +90,9 @@ class SharedBufferSwitch(Node):
         if shared_pool_bytes <= 0:
             raise ValueError("shared pool must be positive")
         self.ports: List[OutputPort] = []
+        self.pool = PacketPool.of(sim)
+        self._dst_col = self.pool.dst
+        self._pkt_free = self.pool.free
         self._routes = {}
         self.shared_pool_bytes = shared_pool_bytes
         self.per_port_cap_bytes = per_port_cap_bytes
@@ -111,7 +118,7 @@ class SharedBufferSwitch(Node):
             if self.per_port_cap_bytes is not None
             else self.shared_pool_bytes
         )
-        queue = _PooledQueue(per_port_cap, self.ecn_threshold_bytes, self)
+        queue = _PooledQueue(per_port_cap, self.ecn_threshold_bytes, self, self.pool)
         port = OutputPort(self.sim, link, queue, name or f"{self.name}:p{len(self.ports)}")
         self.ports.append(port)
         return port
@@ -124,9 +131,10 @@ class SharedBufferSwitch(Node):
     def route_for(self, dst_node_id: int):
         return self._routes.get(dst_node_id)
 
-    def receive(self, packet: Packet) -> None:
-        port = self._routes.get(packet.dst)
+    def receive(self, h: int) -> None:
+        port = self._routes.get(self._dst_col[h])
         if port is None:
             self.unroutable_drops += 1
+            self._pkt_free(h)
             return
-        port.send(packet)
+        port.send(h)

@@ -10,12 +10,12 @@ others.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..sim.engine import Simulator
 from .link import Link
 from .node import Node
-from .packet import Packet
+from .pool import PacketPool
 from .port import OutputPort
 from .queues import DEFAULT_BUFFER_BYTES, DEFAULT_ECN_THRESHOLD, DropTailQueue
 
@@ -25,8 +25,12 @@ class Switch(Node):
 
     __slots__ = (
         "ports",
+        "pool",
+        "_dst_col",
+        "_pool_free",
         "_routes",
-        "_routes_get",
+        "_sends",
+        "_sends_get",
         "buffer_bytes",
         "ecn_threshold_bytes",
         "unroutable_drops",
@@ -41,16 +45,23 @@ class Switch(Node):
     ):
         super().__init__(sim, name)
         self.ports: List[OutputPort] = []
-        self._routes: Dict[int, OutputPort] = {}
+        self.pool = PacketPool.of(sim)
         # Bound once: the route lookup runs for every forwarded packet.
-        self._routes_get = self._routes.get
+        self._dst_col = self.pool.dst
+        self._pool_free = self.pool.free
+        self._routes: Dict[int, OutputPort] = {}
+        # Forwarding fast path: destination -> the route port's bound
+        # send(), so the per-packet hop is one dict probe + one call with
+        # no attribute chase.  Kept in lockstep with _routes by add_route.
+        self._sends: Dict[int, Callable[[int], bool]] = {}
+        self._sends_get = self._sends.get
         self.buffer_bytes = buffer_bytes
         self.ecn_threshold_bytes = ecn_threshold_bytes
         self.unroutable_drops = 0
 
     def add_port(self, link: Link, name: str = "") -> OutputPort:
         """Attach an egress link behind a fresh static buffer."""
-        queue = DropTailQueue(self.buffer_bytes, self.ecn_threshold_bytes)
+        queue = DropTailQueue(self.buffer_bytes, self.ecn_threshold_bytes, pool=self.pool)
         port = OutputPort(self.sim, link, queue, name or f"{self.name}:p{len(self.ports)}")
         self.ports.append(port)
         return port
@@ -60,15 +71,17 @@ class Switch(Node):
         if port not in self.ports:
             raise ValueError(f"port {port.name!r} does not belong to switch {self.name!r}")
         self._routes[dst_node_id] = port
+        self._sends[dst_node_id] = port.send
 
     def route_for(self, dst_node_id: int) -> Optional[OutputPort]:
         return self._routes.get(dst_node_id)
 
-    def receive(self, packet: Packet) -> None:
-        port = self._routes_get(packet.dst)
-        if port is None:
+    def receive(self, h: int) -> None:
+        send = self._sends_get(self._dst_col[h])
+        if send is None:
             # Mirrors a real switch's behaviour for an unknown unicast
-            # destination with learning disabled: count and drop.
+            # destination with learning disabled: count, drop, free.
             self.unroutable_drops += 1
+            self._pool_free(h)
             return
-        port.send(packet)
+        send(h)

@@ -9,16 +9,35 @@ The engine is deliberately tiny — all protocol behaviour lives in the
 components — so the hot loop is a ``pop -> callback`` cycle with no
 dispatch indirection.  :meth:`Simulator.run` fuses the peek/pop scan of
 :class:`~repro.sim.events.EventQueue` into one loop over the raw heap with
-``heapq`` bound to locals, which removes two method calls and several
-attribute lookups per event.
+``heapq`` bound to locals, and **batches same-timestamp dispatch**: once
+the head event's time is established, every consecutive event at that
+time is drained in one inner loop, so the clock store, the ``until``
+bound and the head-of-heap rescan are paid once per distinct timestamp
+instead of once per event (packet-level simulations tie heavily — fan-in
+arrivals, ACK bursts, zero-delay control packets).
+
+The simulator also owns the struct-of-arrays stores the components share:
+``sim.pool`` (the :class:`~repro.net.pool.PacketPool` packet flyweights)
+and ``sim.flows`` (the :class:`~repro.tcp.flowstate.FlowLedger` per-flow
+counter columns).  Both are created lazily by their layer — the engine
+never imports net or tcp.
+
+Automatic garbage collection is paused while :meth:`run` pumps events
+(and restored on exit, exception-safe).  The hot path allocates almost
+nothing cyclic — events and packets are recycled through freelists, and
+acyclic temporaries die by refcount — so the collector's periodic
+traversals were pure overhead (~10% of runtime at the default thresholds).
 """
 
 from __future__ import annotations
 
+import gc
 import os
 from heapq import heappop, heappush, heapreplace
+from sys import maxsize
 from typing import Callable, Optional
 
+from ._native import core_factory
 from .events import FREELIST_MAX, Event, EventQueue, _noop
 from .rng import RngRegistry
 
@@ -72,11 +91,14 @@ class Simulator:
         "tracer",
         "profiler",
         "hooks",
+        "pool",
+        "flows",
         "_running",
         "events_processed",
         "_sequence",
         "_packet_seq",
-        "_push",
+        "_core",
+        "push_light",
         "_stop",
     )
 
@@ -86,6 +108,7 @@ class Simulator:
         validate: Optional[bool] = None,
         tracer=None,
         profiler=None,
+        native: Optional[bool] = None,
     ):
         self.now: int = 0
         self.queue = EventQueue()
@@ -94,9 +117,10 @@ class Simulator:
         self.events_processed: int = 0
         self._sequence = 0
         self._packet_seq = 0
-        # Bound once: scheduling happens for every packet hop, and the
-        # attribute chain + bound-method allocation is measurable there.
-        self._push = self.queue.push
+        # Struct-of-arrays stores, attached lazily by their owning layers
+        # (PacketPool.of / FlowLedger.of) so the engine stays import-free.
+        self.pool = None
+        self.flows = None
         self._stop = False
         if validate is None:
             validate = _env_validate()
@@ -124,6 +148,31 @@ class Simulator:
             self.hooks = hooks
         else:
             self.hooks = None
+        # Native event core (see repro/sim/_evcore.c): owns the light-event
+        # heap, the global sequence counter, and the dispatch loop.  The
+        # mode is fixed here, once — the validated and profiled loops are
+        # the ground truth the native loop is measured against, so a
+        # checker or profiler always pins the simulator to pure Python.
+        core = None
+        if native is None:
+            native = self.checker is None and profiler is None
+        elif native and (self.checker is not None or profiler is not None):
+            raise SimulationError("native dispatch cannot be combined with validate/profiler")
+        if native:
+            factory = core_factory()
+            if factory is not None:
+                core = factory()
+        self._core = core
+        self.queue._core = core
+        # `push_light(abs_time, callback, arg)` is the unchecked light-event
+        # scheduling primitive, bound once so per-hop call sites pay a
+        # single call (a C call in native mode).
+        self.push_light = core.push if core is not None else self._push_light_py
+
+    @property
+    def native(self) -> bool:
+        """True when this simulator dispatches through the C event core."""
+        return self._core is not None
 
     def next_sequence(self) -> int:
         """Per-simulation monotonically increasing id.
@@ -149,17 +198,20 @@ class Simulator:
         return self._packet_seq
 
     # -- scheduling -----------------------------------------------------------
-    def schedule(self, delay: int, callback: Callable[..., None], *args) -> Event:
-        """Run ``callback(*args)`` after ``delay`` ns of simulated time."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule {delay} ns in the past")
-        # Mirrors EventQueue.push, inlined: this is called once per packet
-        # hop and the extra call frame is measurable at that rate.  Any
-        # change to the push protocol must be made in both places.
-        time = self.now + delay
+    def _push_event(self, time: int, callback: Callable[..., None], args: tuple) -> Event:
+        # Mirrors EventQueue.push, inlined: this runs for every regular
+        # event and the queue-level call frame is measurable at that rate.
+        # Any change to the push protocol must be made in both places.
         queue = self.queue
-        seq = queue._seq
-        queue._seq = seq + 1
+        core = self._core
+        if core is None:
+            seq = queue._seq
+            queue._seq = seq + 1
+        else:
+            # The native core owns the simulation-wide sequence counter so
+            # light events (filed in its C heap) and regular events (filed
+            # here) share one totally ordered (time, seq) stream.
+            seq = core.take_seq()
         free = queue._free
         if free:
             ev = free.pop()
@@ -176,11 +228,46 @@ class Simulator:
         heappush(queue._heap, (time, seq, ev))
         return ev
 
+    def schedule(self, delay: int, callback: Callable[..., None], *args) -> Event:
+        """Run ``callback(*args)`` after ``delay`` ns of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ns in the past")
+        return self._push_event(self.now + delay, callback, args)
+
+    def _push_light_py(self, time: int, callback: Callable[[int], None], arg: int) -> None:
+        # Pure-Python implementation behind `push_light` (native mode binds
+        # the core's C push instead): a bare (time, seq, callback, arg)
+        # tuple on the regular heap.
+        queue = self.queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        queue._live += 1
+        heappush(queue._heap, (time, seq, callback, arg))
+
+    def schedule_light(self, delay: int, callback: Callable[[int], None], arg: int) -> None:
+        """Schedule a one-shot ``callback(arg)`` after ``delay`` ns — no handle.
+
+        The fast path for the two scheduling sites every packet hop pays
+        (serialization-finish and propagation-arrival, ~94% of all events):
+        no :class:`Event` is allocated — the entry is a bare
+        ``(time, seq, callback, arg)`` record (a tuple on the regular heap,
+        or a C struct in the native core's heap) consuming the same sequence
+        stream as :meth:`schedule`, so event ordering (including FIFO ties
+        at one timestamp) is bit-for-bit identical to the heavyweight path.
+        Light events cannot be cancelled or rescheduled — callers that need
+        a handle use :meth:`schedule`.  Per-hop call sites bind
+        ``sim.push_light`` (same primitive, absolute time, no validation)
+        to skip this method's frame.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ns in the past")
+        self.push_light(self.now + delay, callback, arg)
+
     def at(self, time: int, callback: Callable[..., None], *args) -> Event:
         """Run ``callback(*args)`` at absolute simulated ``time``."""
         if time < self.now:
             raise SimulationError(f"cannot schedule at t={time} before current time t={self.now}")
-        return self._push(time, callback, args)
+        return self._push_event(time, callback, args)
 
     def reschedule(
         self, event: Optional[Event], delay: int, callback: Callable[..., None], *args
@@ -237,6 +324,8 @@ class Simulator:
             return self._run_validated(until, max_events, stop_when)
         if self.profiler is not None:
             return self._run_profiled(until, max_events, stop_when)
+        if self._core is not None:
+            return self._run_native(until, max_events, stop_when)
         queue = self.queue
         # The dispatch loop works on the queue's raw heap (same entry
         # layout as EventQueue.pop) so each event costs one tuple unpack
@@ -245,62 +334,136 @@ class Simulator:
         heap = queue._heap
         free = queue._free
         free_append = free.append
+        limit = maxsize if max_events is None else max_events
         processed = 0
         self._running = True
         self._stop = False
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
-            while True:
-                if max_events is not None and processed >= max_events:
-                    break
+            running = True
+            while running and processed < limit:
+                # Establish the next live head event (skipping cancelled
+                # carcasses, re-filing deferred reschedules).  Light
+                # entries — bare (time, seq, callback, arg) tuples, see
+                # Simulator.schedule_light — are always live, so they
+                # skip every check.
                 ev = None
                 while heap:
                     entry = heap[0]
                     ev = entry[2]
-                    if ev.cancelled:
-                        heappop(heap)
-                        if len(free) < FREELIST_MAX:
-                            free_append(ev)
-                        ev = None
-                        continue
-                    deadline = ev.deadline
                     ev_time = entry[0]
-                    if deadline > ev_time:
-                        # Stale slot from a reschedule: re-file at the
-                        # true deadline.
-                        ev.time = deadline
-                        ev.seq = ev._dseq
-                        heapreplace(heap, (deadline, ev._dseq, ev))
-                        ev = None
-                        continue
+                    if ev.__class__ is Event:
+                        if ev.cancelled:
+                            heappop(heap)
+                            if len(free) < FREELIST_MAX:
+                                free_append(ev)
+                            ev = None
+                            continue
+                        deadline = ev.deadline
+                        if deadline > ev_time:
+                            # Stale slot from a reschedule: re-file at the
+                            # true deadline.
+                            ev.time = deadline
+                            ev.seq = ev._dseq
+                            heapreplace(heap, (deadline, ev._dseq, ev))
+                            ev = None
+                            continue
                     break
                 if ev is None:
                     break
                 if until is not None and ev_time > until:
                     self.now = until
                     break
-                heappop(heap)
-                ev.deadline = -1  # fired: no longer pending
-                queue._live -= 1
                 self.now = ev_time
-                ev.callback(*ev.args)
-                processed += 1
-                # Recycle the fired event.  Safe because handles are
-                # single-use: every component that stores one clears or
-                # overwrites its reference inside the callback (and
-                # cancel/reschedule on a fired handle are no-ops), so
-                # nothing can reach `ev` once its callback has run.
-                if len(free) < FREELIST_MAX:
-                    ev.callback = _noop
-                    ev.args = ()
-                    free_append(ev)
-                if self._stop:
-                    break
-                if stop_when is not None and stop_when():
-                    break
+                # Same-timestamp batch: every consecutive live event at
+                # ev_time dispatches here without re-checking `until` or
+                # re-storing the clock.  Events scheduled *during* the
+                # batch with zero delay land at ev_time with higher seq
+                # and are picked up by the same loop, preserving exact
+                # (time, seq) order.
+                while True:
+                    heappop(heap)
+                    queue._live -= 1
+                    if ev.__class__ is Event:
+                        ev.deadline = -1  # fired: no longer pending
+                        ev.callback(*ev.args)
+                        # Recycle the fired event.  Safe because handles
+                        # are single-use: every component that stores one
+                        # clears or overwrites its reference inside the
+                        # callback (and cancel/reschedule on a fired
+                        # handle are no-ops), so nothing can reach `ev`
+                        # once its callback has run.
+                        if len(free) < FREELIST_MAX:
+                            ev.callback = _noop
+                            ev.args = ()
+                            free_append(ev)
+                    else:
+                        ev(entry[3])
+                    processed += 1
+                    if (
+                        self._stop
+                        or (stop_when is not None and stop_when())
+                        or processed >= limit
+                    ):
+                        running = False
+                        break
+                    if not heap:
+                        break
+                    entry = heap[0]
+                    if entry[0] != ev_time:
+                        break
+                    ev = entry[2]
+                    if ev.__class__ is Event and (ev.cancelled or ev.deadline > ev_time):
+                        # Rare in-batch carcass/deferral: fall back to the
+                        # outer scan, which re-enters the batch if more
+                        # live events remain at this timestamp.
+                        break
         finally:
+            if gc_was_enabled:
+                gc.enable()
             self._running = False
             self.events_processed += processed
         if until is not None and self.now < until and queue.peek_time() is None:
+            self.now = until
+        return processed
+
+    def _run_native(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Dispatch through the C event core (see ``_evcore.c``).
+
+        Semantically identical to :meth:`run` — same (time, seq) dispatch
+        order, same stop-condition order, same freelist recycling, same
+        ``events_processed`` accounting (the core credits partial progress
+        even when a callback raises, matching the pure loop's ``finally``).
+        """
+        core = self._core
+        queue = self.queue
+        limit = maxsize if max_events is None else max_events
+        self._running = True
+        self._stop = False
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            processed = core.run(
+                self, queue, until, limit, stop_when, _noop, FREELIST_MAX, Event
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            self._running = False
+        if (
+            until is not None
+            and self.now < until
+            and len(core) == 0
+            and queue.peek_time() is None
+        ):
             self.now = until
         return processed
 
@@ -319,7 +482,10 @@ class Simulator:
         scheduled events, so event counts and digests match unvalidated
         runs exactly.  Fired events are not recycled to the freelist here;
         the only difference is object identity, which no component can
-        observe (handles are single-use).
+        observe (handles are single-use).  Dispatch stays strictly
+        per-event (no batching) so ``check_dispatch_time`` sees every
+        event — the checker is the ground truth the batched loop is
+        measured against.
         """
         queue = self.queue
         heap = queue._heap
@@ -337,18 +503,19 @@ class Simulator:
                 while heap:
                     entry = heap[0]
                     ev = entry[2]
-                    if ev.cancelled:
-                        heappop(heap)
-                        ev = None
-                        continue
-                    deadline = ev.deadline
                     ev_time = entry[0]
-                    if deadline > ev_time:
-                        ev.time = deadline
-                        ev.seq = ev._dseq
-                        heapreplace(heap, (deadline, ev._dseq, ev))
-                        ev = None
-                        continue
+                    if ev.__class__ is Event:
+                        if ev.cancelled:
+                            heappop(heap)
+                            ev = None
+                            continue
+                        deadline = ev.deadline
+                        if deadline > ev_time:
+                            ev.time = deadline
+                            ev.seq = ev._dseq
+                            heapreplace(heap, (deadline, ev._dseq, ev))
+                            ev = None
+                            continue
                     break
                 if ev is None:
                     break
@@ -357,10 +524,13 @@ class Simulator:
                     break
                 checker.check_dispatch_time(ev_time)
                 heappop(heap)
-                ev.deadline = -1
                 queue._live -= 1
                 self.now = ev_time
-                ev.callback(*ev.args)
+                if ev.__class__ is Event:
+                    ev.deadline = -1
+                    ev.callback(*ev.args)
+                else:
+                    ev(entry[3])
                 processed += 1
                 since_sweep += 1
                 if since_sweep >= sweep_every:
@@ -386,11 +556,13 @@ class Simulator:
     ) -> int:
         """Dispatch loop used when an :class:`EngineProfiler` is attached.
 
-        Semantically identical to :meth:`run` — same ordering, same stop
-        conditions, same freelist recycling, same ``events_processed``
-        accounting — but each callback is timed and attributed to its
-        ``__qualname__`` in the profiler.  The timing itself perturbs
-        nothing the simulation can observe.
+        Semantically identical to :meth:`run` — same ordering, same batched
+        same-timestamp dispatch, same stop conditions, same freelist
+        recycling, same ``events_processed`` accounting — but each callback
+        is timed and attributed to its ``__qualname__``, and each
+        same-timestamp batch's size is attributed to every kind dispatched
+        inside it (so the profiler can report per-event-type batch sizes).
+        The timing itself perturbs nothing the simulation can observe.
         """
         from time import perf_counter
 
@@ -401,58 +573,81 @@ class Simulator:
         profiler = self.profiler
         counts = profiler.counts
         times = profiler.times_s
+        batch_kinds: list = []
+        limit = maxsize if max_events is None else max_events
         processed = 0
         self._running = True
         self._stop = False
         wall_started = perf_counter()
         try:
-            while True:
-                if max_events is not None and processed >= max_events:
-                    break
+            running = True
+            while running and processed < limit:
                 ev = None
                 while heap:
                     entry = heap[0]
                     ev = entry[2]
-                    if ev.cancelled:
-                        heappop(heap)
-                        if len(free) < FREELIST_MAX:
-                            free_append(ev)
-                        ev = None
-                        continue
-                    deadline = ev.deadline
                     ev_time = entry[0]
-                    if deadline > ev_time:
-                        ev.time = deadline
-                        ev.seq = ev._dseq
-                        heapreplace(heap, (deadline, ev._dseq, ev))
-                        ev = None
-                        continue
+                    if ev.__class__ is Event:
+                        if ev.cancelled:
+                            heappop(heap)
+                            if len(free) < FREELIST_MAX:
+                                free_append(ev)
+                            ev = None
+                            continue
+                        deadline = ev.deadline
+                        if deadline > ev_time:
+                            ev.time = deadline
+                            ev.seq = ev._dseq
+                            heapreplace(heap, (deadline, ev._dseq, ev))
+                            ev = None
+                            continue
                     break
                 if ev is None:
                     break
                 if until is not None and ev_time > until:
                     self.now = until
                     break
-                heappop(heap)
-                ev.deadline = -1
-                queue._live -= 1
                 self.now = ev_time
-                callback = ev.callback
-                started = perf_counter()
-                callback(*ev.args)
-                elapsed = perf_counter() - started
-                kind = getattr(callback, "__qualname__", None) or type(callback).__name__
-                counts[kind] = counts.get(kind, 0) + 1
-                times[kind] = times.get(kind, 0.0) + elapsed
-                processed += 1
-                if len(free) < FREELIST_MAX:
-                    ev.callback = _noop
-                    ev.args = ()
-                    free_append(ev)
-                if self._stop:
-                    break
-                if stop_when is not None and stop_when():
-                    break
+                del batch_kinds[:]
+                while True:
+                    heappop(heap)
+                    queue._live -= 1
+                    if ev.__class__ is Event:
+                        ev.deadline = -1
+                        callback = ev.callback
+                        started = perf_counter()
+                        callback(*ev.args)
+                        elapsed = perf_counter() - started
+                        if len(free) < FREELIST_MAX:
+                            ev.callback = _noop
+                            ev.args = ()
+                            free_append(ev)
+                    else:
+                        callback = ev
+                        started = perf_counter()
+                        callback(entry[3])
+                        elapsed = perf_counter() - started
+                    kind = getattr(callback, "__qualname__", None) or type(callback).__name__
+                    counts[kind] = counts.get(kind, 0) + 1
+                    times[kind] = times.get(kind, 0.0) + elapsed
+                    batch_kinds.append(kind)
+                    processed += 1
+                    if (
+                        self._stop
+                        or (stop_when is not None and stop_when())
+                        or processed >= limit
+                    ):
+                        running = False
+                        break
+                    if not heap:
+                        break
+                    entry = heap[0]
+                    if entry[0] != ev_time:
+                        break
+                    ev = entry[2]
+                    if ev.__class__ is Event and (ev.cancelled or ev.deadline > ev_time):
+                        break
+                profiler.record_batch(batch_kinds)
         finally:
             self._running = False
             self.events_processed += processed
@@ -471,4 +666,5 @@ class Simulator:
         return self.rng.stream(name)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Simulator(now={self.now}, pending={len(self.queue)})"
+        pending = len(self.queue) + (len(self._core) if self._core is not None else 0)
+        return f"Simulator(now={self.now}, pending={pending})"

@@ -7,6 +7,16 @@ for throughput:
   them with C tuple comparison on the two integers and never calls back
   into Python (``seq`` is unique, so the ``Event`` itself is never
   compared).
+- **Light entries**: one-shot, never-cancelled callbacks (the two
+  scheduling sites every packet hop pays — serialization-finish and
+  propagation-arrival, ~94% of all events) skip the :class:`Event`
+  object entirely and sit in the same heap as bare
+  ``(time, seq, callback, arg)`` 4-tuples, pushed by
+  :meth:`repro.sim.engine.Simulator.schedule_light`.  They draw from the
+  same ``seq`` stream, and since ``seq`` is unique the comparison never
+  reaches element 2, so 3- and 4-tuples mix freely with ordering
+  bit-for-bit identical to the all-``Event`` implementation.  Consumers
+  discriminate with ``entry[2].__class__ is Event``.
 - Cancellation is *lazy* — a cancelled event stays in the heap and is
   skipped when popped — which keeps ``cancel()`` O(1) and avoids heap
   surgery.  Skipped carcasses go to a bounded **freelist** and are
@@ -77,8 +87,10 @@ def _noop(*_args: Any) -> None:
     """Placeholder callback installed when an event is cancelled."""
 
 
-#: One heap entry: ``(time, seq, event)``.
-Entry = Tuple[int, int, Event]
+#: One heap entry: ``(time, seq, event)`` — or the light form
+#: ``(time, seq, callback, arg)``; ``seq`` uniqueness keeps comparisons
+#: from ever reaching element 2, so the two shapes mix freely.
+Entry = Tuple[int, int, Any]
 
 
 class EventQueue:
@@ -89,13 +101,19 @@ class EventQueue:
     must be mirrored there.
     """
 
-    __slots__ = ("_heap", "_seq", "_live", "_free")
+    __slots__ = ("_heap", "_seq", "_live", "_free", "_core")
 
     def __init__(self) -> None:
         self._heap: List[Entry] = []
         self._seq = 0
         self._live = 0
         self._free: List[Event] = []
+        # Native event core (set by the owning Simulator when the C engine
+        # is active).  When attached, it owns the simulation-wide sequence
+        # counter — light events filed in its C heap and regular events
+        # filed here must share one totally ordered (time, seq) stream —
+        # so push/reschedule draw from it instead of ``_seq``.
+        self._core = None
 
     def __len__(self) -> int:
         """Number of *live* (non-cancelled) events."""
@@ -103,8 +121,12 @@ class EventQueue:
 
     def push(self, time: int, callback: Callable[..., None], args: tuple = ()) -> Event:
         """Schedule ``callback(*args)`` at ``time``; returns a cancellable handle."""
-        seq = self._seq
-        self._seq = seq + 1
+        core = self._core
+        if core is None:
+            seq = self._seq
+            self._seq = seq + 1
+        else:
+            seq = core.take_seq()
         free = self._free
         if free:
             ev = free.pop()
@@ -142,8 +164,12 @@ class EventQueue:
             and event.time <= time
         ):
             event.deadline = time
-            event._dseq = self._seq
-            self._seq += 1
+            core = self._core
+            if core is None:
+                event._dseq = self._seq
+                self._seq += 1
+            else:
+                event._dseq = core.take_seq()
             event.callback = callback
             event.args = args
             return event
@@ -160,12 +186,22 @@ class EventQueue:
     def pop(self) -> Optional[Event]:
         """Pop the earliest live event, skipping cancelled ones.
 
-        Returns ``None`` when the queue holds no live events.
+        Returns ``None`` when the queue holds no live events.  A light
+        entry (see module docstring) is materialized into an already-fired
+        :class:`Event` so callers see one uniform type; the fused dispatch
+        loops never pay this, it only serves the queue-level API.
         """
         heap = self._heap
         free = self._free
         while heap:
-            time, _seq, ev = heap[0]
+            entry = heap[0]
+            time, _seq, ev = entry[:3]
+            if ev.__class__ is not Event:
+                heapq.heappop(heap)
+                self._live -= 1
+                fired = Event(time, _seq, ev, (entry[3],))
+                fired.deadline = -1  # fired: no longer pending
+                return fired
             if ev.cancelled:
                 heapq.heappop(heap)
                 if len(free) < FREELIST_MAX:
@@ -189,7 +225,11 @@ class EventQueue:
         heap = self._heap
         free = self._free
         while heap:
-            time, _seq, ev = heap[0]
+            entry = heap[0]
+            time = entry[0]
+            ev = entry[2]
+            if ev.__class__ is not Event:
+                return time  # light entries are always live
             if ev.cancelled:
                 heapq.heappop(heap)
                 if len(free) < FREELIST_MAX:

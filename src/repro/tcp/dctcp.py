@@ -13,6 +13,10 @@ that window — the behaviour of the reference Linux implementation.
 
 Loss handling (fast retransmit, RTO) is inherited unchanged from New Reno:
 DCTCP reacts to packet loss exactly like TCP.
+
+The alpha/window-of-data accumulators are flow-ledger columns (they are
+touched on every ACK); the properties below preserve the attribute API
+(``sender.alpha`` etc.) for subclasses, experiments and tests.
 """
 
 from __future__ import annotations
@@ -23,11 +27,18 @@ from ..metrics.flowstats import FlowStats
 from ..net.host import Host
 from ..sim.engine import Simulator
 from .config import TcpConfig
+from .flowstate import ledger_field, ledger_flag
 from .sender import TcpSender
 
 
 class DctcpSender(TcpSender):
     """TCP New Reno + DCTCP ECN reaction."""
+
+    alpha = ledger_field("alpha")
+    _win_end_seq = ledger_field("win_end_seq")
+    _win_bytes_acked = ledger_field("win_bytes_acked")
+    _win_bytes_marked = ledger_field("win_bytes_marked")
+    _win_saw_ece = ledger_flag("win_saw_ece")
 
     def __init__(
         self,
@@ -41,7 +52,7 @@ class DctcpSender(TcpSender):
     ):
         config = (config or TcpConfig()).with_overrides(ecn_enabled=True)
         super().__init__(sim, host, dst_node_id, flow_id, config, stats, on_complete)
-        self.alpha: float = config.dctcp_alpha_init
+        self.alpha = config.dctcp_alpha_init
         self._win_end_seq = 0
         self._win_bytes_acked = 0
         self._win_bytes_marked = 0
@@ -54,41 +65,46 @@ class DctcpSender(TcpSender):
 
     # -- DCTCP marked-fraction bookkeeping --------------------------------------
     def _cc_on_ack(self, newly_acked: int, ece: bool) -> None:
-        self._win_bytes_acked += newly_acked
+        fl = self._fl
+        slot = self._slot
+        fl.win_bytes_acked[slot] += newly_acked
         if ece:
-            self._win_bytes_marked += newly_acked
-            self._win_saw_ece = True
+            fl.win_bytes_marked[slot] += newly_acked
+            fl.win_saw_ece[slot] = 1
         super()._cc_on_ack(newly_acked, ece)
-        if self.snd_una >= self._win_end_seq:
+        if fl.snd_una[slot] >= fl.win_end_seq[slot]:
             self._end_of_window()
 
     def _end_of_window(self) -> None:
         cfg = self.config
-        if self._win_bytes_acked > 0:
-            fraction = self._win_bytes_marked / self._win_bytes_acked
-            self.alpha = (1.0 - cfg.dctcp_g) * self.alpha + cfg.dctcp_g * fraction
-        if self._win_saw_ece:
+        fl = self._fl
+        slot = self._slot
+        acked = fl.win_bytes_acked[slot]
+        if acked > 0:
+            fraction = fl.win_bytes_marked[slot] / acked
+            fl.alpha[slot] = (1.0 - cfg.dctcp_g) * fl.alpha[slot] + cfg.dctcp_g * fraction
+        if fl.win_saw_ece[slot]:
             floor = cfg.min_cwnd_bytes
+            cwnd = fl.cwnd[slot]
             # Kernel semantics: the multiplicative decrease is computed in
             # integer packets (floor division), so cwnd=2 with any marking
             # drops to the next integer below 2 - alpha, i.e. straight to
             # the floor.
             penalty = self._reduction_penalty()
-            target = self._quantize_down(self.cwnd * (1.0 - penalty / 2.0), floor)
-            if target <= floor and self.cwnd <= floor:
+            target = self._quantize_down(cwnd * (1.0 - penalty / 2.0), floor)
+            if target <= floor and cwnd <= floor:
                 # Eq. (2) clamps: the sender *cannot* slow down further
                 # despite ECN feedback (root cause #1 in the paper).
                 self.floor_limited_reductions += 1
-            new_cwnd = target
-            if new_cwnd < self.cwnd:
+            if target < cwnd:
                 self.ecn_reductions += 1
-            self.cwnd = new_cwnd
-            self.ssthresh = max(new_cwnd, floor)
-            self._ca_bytes_acked = 0.0
-        self._win_end_seq = self.snd_nxt
-        self._win_bytes_acked = 0
-        self._win_bytes_marked = 0
-        self._win_saw_ece = False
+            fl.cwnd[slot] = target
+            fl.ssthresh[slot] = max(target, floor)
+            fl.ca_bytes_acked[slot] = 0.0
+        fl.win_end_seq[slot] = fl.snd_nxt[slot]
+        fl.win_bytes_acked[slot] = 0
+        fl.win_bytes_marked[slot] = 0
+        fl.win_saw_ece[slot] = 0
 
     def _reduction_penalty(self) -> float:
         """Backoff factor ``p`` in ``W <- W(1 - p/2)``.

@@ -17,6 +17,11 @@ accurate across coalesced ACKs:
 
 Out-of-order and duplicate segments are always ACKed immediately
 (RFC 5681), which is what feeds fast retransmit.
+
+The per-segment state (pending count, remembered CE) lives in the flow
+ledger alongside the reassembly cursor; the properties below keep
+attribute access working for tests while ``_ack_policy`` binds the
+columns directly.
 """
 
 from __future__ import annotations
@@ -24,9 +29,10 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..net.host import Host
-from ..net.packet import Packet
+from ..net.pool import F_CE, F_ECT
 from ..sim.engine import Simulator
 from ..sim.units import MS
+from .flowstate import ledger_field, ledger_flag
 from .receiver import TcpReceiver
 
 #: Linux's minimum delayed-ACK timeout is 40 ms (HZ=250); datacenter
@@ -42,13 +48,14 @@ class DelayedAckReceiver(TcpReceiver):
     __slots__ = (
         "ack_every",
         "delack_timeout_ns",
-        "_pending_segments",
-        "_ce_state",
         "_delack_event",
         "delayed_acks_sent",
         "immediate_acks_sent",
         "delack_timeouts",
     )
+
+    _pending_segments = ledger_field("pending_segments")
+    _ce_state = ledger_flag("ce_state")
 
     def __init__(
         self,
@@ -69,16 +76,17 @@ class DelayedAckReceiver(TcpReceiver):
         super().__init__(sim, host, peer_node_id, flow_id, expected_bytes, on_data, on_complete)
         self.ack_every = ack_every
         self.delack_timeout_ns = delack_timeout_ns
-        self._pending_segments = 0
-        self._ce_state = False
         self._delack_event = None
         self.delayed_acks_sent = 0
         self.immediate_acks_sent = 0
         self.delack_timeouts = 0
 
     # -- ACK policy -----------------------------------------------------------
-    def _ack_policy(self, packet: Packet, out_of_order: bool, rcv_before: int) -> None:
-        if packet.ect and packet.ce != self._ce_state:
+    def _ack_policy(self, flags: int, out_of_order: bool, rcv_before: int) -> None:
+        fl = self._fl
+        slot = self._slot
+        ce = bool(flags & F_CE)
+        if flags & F_ECT and ce != bool(fl.ce_state[slot]):
             # DCTCP state change: ACK the pending run with the *old* state
             # immediately — covering only the bytes that preceded this
             # segment — then adopt the new state.  This runs for *every*
@@ -86,19 +94,19 @@ class DelayedAckReceiver(TcpReceiver):
             # tcp_ecn_check_ce updates the CE state before the queueing
             # decision): an out-of-order segment's mark would otherwise be
             # lost and the sender's alpha under-estimated.
-            if self._pending_segments > 0:
+            if fl.pending_segments[slot] > 0:
                 self._flush_pending(ack_seq=rcv_before)
-            self._ce_state = packet.ce
+            fl.ce_state[slot] = 1 if ce else 0
 
         if out_of_order:
             # Duplicate/out-of-order: flush anything pending, then ACK now.
             self._flush_pending()
-            self._send_ack(ece=self._ce_state if packet.ect else packet.ce)
+            self._send_ack(ece=bool(fl.ce_state[slot]) if flags & F_ECT else ce)
             self.immediate_acks_sent += 1
             return
 
-        self._pending_segments += 1
-        if self._pending_segments >= self.ack_every:
+        pending = fl.pending_segments[slot] = fl.pending_segments[slot] + 1
+        if pending >= self.ack_every:
             self._flush_pending()
         elif self._delack_event is None:
             self._delack_event = self.sim.schedule(self.delack_timeout_ns, self._on_delack_timer)
@@ -107,10 +115,12 @@ class DelayedAckReceiver(TcpReceiver):
         if self._delack_event is not None:
             self.sim.cancel(self._delack_event)
             self._delack_event = None
-        if self._pending_segments == 0:
+        fl = self._fl
+        slot = self._slot
+        if fl.pending_segments[slot] == 0:
             return
-        self._pending_segments = 0
-        self._send_ack(ece=self._ce_state, ack_seq=ack_seq)
+        fl.pending_segments[slot] = 0
+        self._send_ack(ece=bool(fl.ce_state[slot]), ack_seq=ack_seq)
         self.delayed_acks_sent += 1
 
     def _on_delack_timer(self) -> None:

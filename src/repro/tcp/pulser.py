@@ -57,11 +57,11 @@ class PulserSender(DctcpSender):
         self.inc_acks_received = 0
         self.incast_backoffs = 0
 
-    def _on_ack(self, ack) -> None:
-        if ack.inc and not self.completed:
+    def _on_ack(self, ack_seq: int, ece: bool, inc: int = 0) -> None:
+        if inc and not self.completed:
             self.inc_acks_received += 1
             self._on_incast_signal()
-        super()._on_ack(ack)
+        super()._on_ack(ack_seq, ece, inc)
 
     def _on_incast_signal(self) -> None:
         if self.snd_una < self._inc_guard_seq:

@@ -8,6 +8,12 @@ implement; the sender's marked-byte fraction estimate is then exact.
 Duplicate segments (retransmissions of data already received) still
 generate ACKs — those duplicates are what drive fast retransmit at the
 sender.
+
+Storage layout mirrors the sender: the per-segment counters (``rcv_nxt``,
+``bytes_delivered``) live in the simulator's flow ledger and the receiver
+keeps a slot plus compatibility properties.  ``on_packet`` consumes a
+pooled handle, reads the columns it needs, and frees the handle before
+doing any protocol work; ACKs are allocated straight from the pool.
 """
 
 from __future__ import annotations
@@ -16,7 +22,8 @@ from typing import Callable, Dict, Optional
 
 from ..sim.engine import Simulator
 from ..net.host import Host
-from ..net.packet import Packet, make_ack_packet
+from ..net.pool import F_ACK, F_CE, F_INC, PacketPool
+from .flowstate import FlowLedger, ledger_field
 
 
 class TcpReceiver:
@@ -27,8 +34,10 @@ class TcpReceiver:
         "host",
         "peer_node_id",
         "flow_id",
-        "rcv_nxt",
-        "bytes_delivered",
+        "_fl",
+        "_slot",
+        "_pool",
+        "_host_send",
         "expected_bytes",
         "on_data",
         "on_complete",
@@ -40,6 +49,9 @@ class TcpReceiver:
         "ce_packets_received",
         "closed",
     )
+
+    rcv_nxt = ledger_field("rcv_nxt")
+    bytes_delivered = ledger_field("bytes_delivered")
 
     def __init__(
         self,
@@ -55,8 +67,16 @@ class TcpReceiver:
         self.host = host
         self.peer_node_id = peer_node_id
         self.flow_id = flow_id
-        self.rcv_nxt = 0
-        self.bytes_delivered = 0
+        fl = FlowLedger.of(sim)
+        self._fl = fl
+        self._slot = fl.register()
+        self._pool = PacketPool.of(sim)
+        # Transmit binding: straight to the NIC port's send when the
+        # access link is already attached (skips Host.send's None check
+        # and call frame per packet); hosts built link-less fall back to
+        # Host.send, which raises the usual error if still detached.
+        nic = host.nic
+        self._host_send = nic.send if nic is not None else host.send
         self.expected_bytes = expected_bytes
         self.on_data = on_data
         self.on_complete = on_complete
@@ -82,47 +102,58 @@ class TcpReceiver:
         self.expected_bytes += additional_bytes
         self._done = False
 
-    def on_packet(self, packet: Packet) -> None:
-        """Handle an arriving segment; emit the cumulative ACK."""
-        if packet.is_ack:  # stray ACK routed to the receiver side; ignore
+    def on_packet(self, h: int) -> None:
+        """Handle an arriving segment handle; emit the cumulative ACK."""
+        pool = self._pool
+        flags = pool.flags[h]
+        if flags & F_ACK:  # stray ACK routed to the receiver side; ignore
+            pool.free(h)
             return
+        seq = pool.seq[h]
+        end_seq = seq + pool.payload_len[h]
+        pool.free(h)
+
         self.data_packets_received += 1
-        if packet.ce:
+        if flags & F_CE:
             self.ce_packets_received += 1
-        if packet.inc:
+        if flags & F_INC:
             self._inc_echo = True
 
-        rcv_before = self.rcv_nxt
-        if packet.end_seq <= self.rcv_nxt:
+        fl = self._fl
+        slot = self._slot
+        rcv_col = fl.rcv_nxt
+        rcv_before = rcv_col[slot]
+        if end_seq <= rcv_before:
             self.duplicate_packets_received += 1
         else:
-            self._buffer(packet.seq, packet.end_seq)
+            self._buffer(seq, end_seq)
             self._advance()
         # duplicate or out-of-order segments must be ACKed immediately
         # (RFC 5681); in-order segments go through the ACK policy, which
         # subclasses may delay.
-        out_of_order = self.rcv_nxt == rcv_before
+        out_of_order = rcv_col[slot] == rcv_before
 
-        self._ack_policy(packet, out_of_order, rcv_before)
+        self._ack_policy(flags, out_of_order, rcv_before)
 
         if (
             not self._done
             and self.expected_bytes is not None
-            and self.rcv_nxt >= self.expected_bytes
+            and rcv_col[slot] >= self.expected_bytes
         ):
             self._done = True
             if self.on_complete is not None:
                 self.on_complete(self)
 
     # -- ACK policy (overridden by DelayedAckReceiver) ----------------------------
-    def _ack_policy(self, packet: Packet, out_of_order: bool, rcv_before: int) -> None:
+    def _ack_policy(self, flags: int, out_of_order: bool, rcv_before: int) -> None:
         """Immediate per-packet cumulative ACK echoing the segment's CE.
 
-        ``rcv_before`` is the cumulative point before this segment was
-        reassembled (delayed-ACK subclasses acknowledge up to it when a
-        CE state change forces an early flush).
+        ``flags`` is the arriving segment's flag byte (the handle itself is
+        already freed); ``rcv_before`` is the cumulative point before this
+        segment was reassembled (delayed-ACK subclasses acknowledge up to
+        it when a CE state change forces an early flush).
         """
-        self._send_ack(ece=packet.ce)
+        self._send_ack(ece=bool(flags & F_CE))
 
     # -- internals --------------------------------------------------------------
     def _buffer(self, seq: int, end: int) -> None:
@@ -132,33 +163,40 @@ class TcpReceiver:
 
     def _advance(self) -> None:
         """Pull contiguous segments out of the reorder buffer."""
-        before = self.rcv_nxt
+        fl = self._fl
+        slot = self._slot
+        rcv_col = fl.rcv_nxt
+        before = rcv_col[slot]
+        rcv_nxt = before
+        ooo = self._ooo
         moved = True
         while moved:
             moved = False
-            end = self._ooo.pop(self.rcv_nxt, None)
+            end = ooo.pop(rcv_nxt, None)
             if end is not None:
-                self.rcv_nxt = max(self.rcv_nxt, end)
+                if end > rcv_nxt:
+                    rcv_nxt = end
                 moved = True
             else:
                 # A retransmission after a partial overlap can start below
                 # rcv_nxt but extend past it; scan for such a segment.
-                for seq, seg_end in self._ooo.items():
-                    if seq <= self.rcv_nxt < seg_end:
-                        del self._ooo[seq]
-                        self.rcv_nxt = seg_end
+                for seq, seg_end in ooo.items():
+                    if seq <= rcv_nxt < seg_end:
+                        del ooo[seq]
+                        rcv_nxt = seg_end
                         moved = True
                         break
-        delivered = self.rcv_nxt - before
+        rcv_col[slot] = rcv_nxt
+        delivered = rcv_nxt - before
         if delivered > 0:
-            self.bytes_delivered += delivered
+            fl.bytes_delivered[slot] += delivered
             if self.on_data is not None:
                 self.on_data(delivered)
         # Drop any stale buffered segments fully below rcv_nxt.
-        if self._ooo:
-            stale = [s for s, e in self._ooo.items() if e <= self.rcv_nxt]
+        if ooo:
+            stale = [s for s, e in ooo.items() if e <= rcv_nxt]
             for s in stale:
-                del self._ooo[s]
+                del ooo[s]
 
     def _send_ack(self, ece: bool, ack_seq: Optional[int] = None) -> None:
         inc = self._inc_echo
@@ -166,16 +204,17 @@ class TcpReceiver:
             # The onset signal rides the next ACK out, whatever kind it is
             # (immediate, delayed, duplicate), then is consumed.
             self._inc_echo = False
-        ack = make_ack_packet(
+        sim = self.sim
+        h = self._pool.alloc_ack(
             self.flow_id,
             self.host.node_id,
             self.peer_node_id,
-            self.rcv_nxt if ack_seq is None else ack_seq,
-            ece=ece,
-            inc=inc,
-            packet_id=self.sim.next_packet_id(),
+            self._fl.rcv_nxt[self._slot] if ack_seq is None else ack_seq,
+            ece,
+            inc,
+            sim.next_packet_id(),
         )
-        self.host.send(ack)
+        self._host_send(h)
 
     @property
     def complete(self) -> bool:

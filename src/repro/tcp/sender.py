@@ -14,6 +14,15 @@ baseline, and serves as the base class for DCTCP and DCTCP+:
 - per-transmission ``(cwnd, ECE)`` snapshots for Fig. 2 / Table I,
 - an optional pacing gate (used by DCTCP+'s slow_time regulation).
 
+Storage layout: the counters touched per segment (cwnd, ssthresh,
+snd_una, snd_nxt, dupacks, the CA byte accumulator) live in the
+simulator-owned :class:`~repro.tcp.flowstate.FlowLedger` columns; the
+sender holds a slot into them plus compatibility properties, and the hot
+methods (`_on_ack` and everything it calls) index the columns directly
+with locals — no property dispatch, no repeated attribute chains.
+Packets are pooled handles (:mod:`repro.net.pool`); the sender frees the
+ACK handle as soon as its fields are read.
+
 Subclass hooks
 --------------
 ``_cc_on_ack``      window growth + (in DCTCP) marking bookkeeping
@@ -27,9 +36,10 @@ from typing import Callable, Dict, Optional, Protocol
 
 from ..metrics.flowstats import FlowStats
 from ..net.host import Host
-from ..net.packet import Packet, make_data_packet
+from ..net.pool import F_ACK, F_ECE, F_INC, PacketPool
 from ..sim.engine import Simulator
 from .config import TcpConfig
+from .flowstate import FlowLedger, ledger_field
 from .rtt import RttEstimator
 from .timeouts import TimeoutKind, classify_timeout
 
@@ -42,7 +52,17 @@ class Pacer(Protocol):
 
 
 class TcpSender:
-    """Source endpoint of one flow."""
+    """Source endpoint of one flow (a thin view over the flow ledger)."""
+
+    # Per-segment counters live in the FlowLedger; these properties keep
+    # attribute-style access working for subclasses, the invariant
+    # checker, metrics and tests.
+    cwnd = ledger_field("cwnd")
+    ssthresh = ledger_field("ssthresh")
+    snd_una = ledger_field("snd_una")
+    snd_nxt = ledger_field("snd_nxt")
+    dupacks = ledger_field("dupacks")
+    _ca_bytes_acked = ledger_field("ca_bytes_acked")
 
     def __init__(
         self,
@@ -61,11 +81,25 @@ class TcpSender:
         self.config = config or TcpConfig()
         cfg = self.config
 
+        # Ledger slot first: every counter assignment below routes through
+        # the compatibility properties into the columns.
+        fl = FlowLedger.of(sim)
+        self._fl = fl
+        self._slot = fl.register()
+        self._pool = PacketPool.of(sim)
+        # Transmit binding: straight to the NIC port's send when the
+        # access link is already attached (skips Host.send's None check
+        # and call frame per packet); hosts built link-less fall back to
+        # Host.send, which raises the usual error if still detached.
+        nic = host.nic
+        self._host_send = nic.send if nic is not None else host.send
+        self._src_id = host.node_id
+
         self.total_bytes = 0
         self.snd_una = 0
         self.snd_nxt = 0
-        self.cwnd: float = cfg.init_cwnd_bytes
-        self.ssthresh: float = cfg.init_ssthresh_bytes
+        self.cwnd = cfg.init_cwnd_bytes
+        self.ssthresh = cfg.init_ssthresh_bytes
         self.dupacks = 0
         self.in_fast_recovery = False
         self.recover = 0
@@ -165,22 +199,24 @@ class TcpSender:
 
     @property
     def bytes_in_flight(self) -> int:
-        return self.snd_nxt - self.snd_una
+        fl = self._fl
+        slot = self._slot
+        return fl.snd_nxt[slot] - fl.snd_una[slot]
 
     @property
     def in_rto_recovery(self) -> bool:
         """True while retransmissions from the last RTO are outstanding."""
-        return self.snd_una < self.rto_recovery_point
+        return self._fl.snd_una[self._slot] < self.rto_recovery_point
 
     @property
     def cwnd_mss(self) -> float:
-        return self.cwnd / self.config.mss
+        return self._fl.cwnd[self._slot] / self.config.mss
 
     @property
     def effective_window_bytes(self) -> int:
         """Packet-counting window: whole MSS units, at least one segment."""
         mss = self.config.mss
-        whole = int(self.cwnd // mss) * mss
+        whole = int(self._fl.cwnd[self._slot] // mss) * mss
         return min(max(whole, mss), self.config.rwnd_bytes)
 
     # ------------------------------------------------------------- transmission
@@ -189,19 +225,30 @@ class TcpSender:
             return
         cfg = self.config
         now = self.sim.now
-        window = self.effective_window_bytes
-        while self.snd_nxt < self.total_bytes:
-            seg_len = min(cfg.mss, self.total_bytes - self.snd_nxt)
-            if self.bytes_in_flight + seg_len > window:
+        mss = cfg.mss
+        fl = self._fl
+        slot = self._slot
+        nxt_col = fl.snd_nxt
+        snd_una = fl.snd_una[slot]
+        # effective_window_bytes, inlined (this is the per-segment gate).
+        whole = int(fl.cwnd[slot] // mss) * mss
+        window = min(max(whole, mss), cfg.rwnd_bytes)
+        total = self.total_bytes
+        pacer = self.pacer
+        snd_nxt = nxt_col[slot]
+        while snd_nxt < total:
+            remaining = total - snd_nxt
+            seg_len = mss if mss < remaining else remaining
+            if snd_nxt - snd_una + seg_len > window:
                 break
-            if self.pacer is not None:
-                gate = self.pacer.next_send_time(now)
+            if pacer is not None:
+                gate = pacer.next_send_time(now)
                 if gate > now:
                     self._schedule_send_retry(gate)
                     return
-            self._transmit(self.snd_nxt, seg_len, is_retransmit=False)
-            self.snd_nxt += seg_len
-        if self.bytes_in_flight > 0 and self._rto_event is None:
+            self._transmit(snd_nxt, seg_len, is_retransmit=False)
+            snd_nxt = nxt_col[slot] = snd_nxt + seg_len
+        if snd_nxt - snd_una > 0 and self._rto_event is None:
             self._arm_timer()
 
     def _schedule_send_retry(self, at_time: int) -> None:
@@ -215,32 +262,34 @@ class TcpSender:
 
     def _transmit(self, seq: int, length: int, is_retransmit: bool) -> None:
         cfg = self.config
-        now = self.sim.now
-        self.stats.record_send_snapshot(int(self.cwnd // cfg.mss), self.last_ack_ece)
-        packet = make_data_packet(
+        sim = self.sim
+        now = sim.now
+        stats = self.stats
+        stats.record_send_snapshot(int(self._fl.cwnd[self._slot] // cfg.mss), self.last_ack_ece)
+        h = self._pool.alloc_data(
             self.flow_id,
-            self.host.node_id,
+            self._src_id,
             self.dst_node_id,
             seq,
             length,
-            ect=cfg.ecn_enabled,
-            is_retransmit=is_retransmit,
-            packet_id=self.sim.next_packet_id(),
+            cfg.ecn_enabled,
+            is_retransmit,
+            sim.next_packet_id(),
         )
-        packet.sent_time = now
         if is_retransmit:
             # Karn: retransmitted segments are never RTT-sampled.
             self._segment_send_time.pop(seq, None)
-            self.stats.retransmitted_packets += 1
+            stats.retransmitted_packets += 1
             if self._tracer is not None:
                 self._tracer.retransmitted(self, seq)
         else:
             self._segment_send_time[seq] = now
-        self.stats.data_packets_sent += 1
+        stats.data_packets_sent += 1
         self._last_send_time = now
-        self.host.send(packet)
-        if self.pacer is not None:
-            self.pacer.on_sent(now)
+        self._host_send(h)
+        pacer = self.pacer
+        if pacer is not None:
+            pacer.on_sent(now)
 
     def _retransmit_front(self) -> None:
         seg_len = min(self.config.mss, self.total_bytes - self.snd_una)
@@ -248,43 +297,56 @@ class TcpSender:
             self._transmit(self.snd_una, seg_len, is_retransmit=True)
 
     # ------------------------------------------------------------ ACK processing
-    def on_packet(self, packet: Packet) -> None:
-        if not packet.is_ack or self.closed:
+    def on_packet(self, h: int) -> None:
+        """Consume a delivered packet handle (ACKs drive the state machine)."""
+        pool = self._pool
+        flags = pool.flags[h]
+        ack_seq = pool.ack_seq[h]
+        pool.free(h)
+        if not (flags & F_ACK) or self.closed:
             return
-        self._on_ack(packet)
+        self._on_ack(ack_seq, bool(flags & F_ECE), flags & F_INC)
 
-    def _on_ack(self, ack: Packet) -> None:
+    def _on_ack(self, ack_seq: int, ece: bool, inc: int = 0) -> None:
         if self.completed:
             return
         self._acks_since_timer_armed += 1
-        self.stats.acks_received += 1
-        ece = ack.ece
+        stats = self.stats
+        stats.acks_received += 1
         self.last_ack_ece = ece
         if ece:
-            self.stats.ece_acks_received += 1
+            stats.ece_acks_received += 1
 
+        fl = self._fl
+        slot = self._slot
+        snd_una = fl.snd_una[slot]
+        snd_nxt = fl.snd_nxt[slot]
         # Highest byte ever handed to the network: go-back-N rewinds
         # snd_nxt, but a late ACK from the original (pre-timeout) flight is
         # still legitimate up to the recovery point.
-        high_water = max(self.snd_nxt, self.rto_recovery_point)
-        if ack.ack_seq > high_water:
+        recovery_point = self.rto_recovery_point
+        high_water = snd_nxt if snd_nxt > recovery_point else recovery_point
+        if ack_seq > high_water:
             # RFC 793: an ACK for data we never sent is ignored.  Cannot
             # happen with well-behaved peers, but keeps the state machine
             # sound against reordering artifacts or buggy endpoints.
             return
-        if ack.ack_seq > self.snd_una:
-            self._on_new_ack(ack.ack_seq, ece)
-        elif self.bytes_in_flight > 0:
+        if ack_seq > snd_una:
+            self._on_new_ack(ack_seq, ece)
+        elif snd_nxt - snd_una > 0:
             self._on_dupack(ece)
 
     def _on_new_ack(self, ack_seq: int, ece: bool) -> None:
-        newly_acked = ack_seq - self.snd_una
+        fl = self._fl
+        slot = self._slot
+        cwnd_col = fl.cwnd
+        newly_acked = ack_seq - fl.snd_una[slot]
         self._sample_rtt(ack_seq)
-        self.snd_una = ack_seq
-        if self.snd_nxt < ack_seq:
+        fl.snd_una[slot] = ack_seq
+        if fl.snd_nxt[slot] < ack_seq:
             # a late original-flight ACK overtook the go-back-N rewind
-            self.snd_nxt = ack_seq
-        self.dupacks = 0
+            fl.snd_nxt[slot] = ack_seq
+        fl.dupacks[slot] = 0
         self.rto_backoff = 0
         cfg = self.config
 
@@ -292,18 +354,19 @@ class TcpSender:
             if ack_seq >= self.recover:
                 # Full ACK: leave recovery, deflate to ssthresh.
                 self.in_fast_recovery = False
-                self.cwnd = max(cfg.min_cwnd_bytes, self.ssthresh)
+                cwnd_col[slot] = max(cfg.min_cwnd_bytes, fl.ssthresh[slot])
             else:
                 # Partial ACK (RFC 6582): retransmit the next hole, deflate
                 # by the amount acked, stay in recovery.
                 self._retransmit_front()
-                self.cwnd = max(float(cfg.mss), self.cwnd - newly_acked + cfg.mss)
+                cwnd_col[slot] = max(float(cfg.mss), cwnd_col[slot] - newly_acked + cfg.mss)
         else:
             self._cc_on_ack(newly_acked, ece)
 
-        if self.total_bytes > 0 and self.snd_una >= self.total_bytes:
+        total = self.total_bytes
+        if total > 0 and ack_seq >= total:
             self._complete()
-        elif self.bytes_in_flight > 0:
+        elif fl.snd_nxt[slot] - ack_seq > 0:
             self._arm_timer()
         else:
             # Nothing outstanding (remaining data may be gated by the
@@ -315,12 +378,14 @@ class TcpSender:
 
     def _on_dupack(self, ece: bool) -> None:
         cfg = self.config
-        self.dupacks += 1
+        fl = self._fl
+        slot = self._slot
+        dupacks = fl.dupacks[slot] = fl.dupacks[slot] + 1
         self.stats.dupacks_received += 1
         if self.in_fast_recovery:
             # Window inflation: each dupACK signals a departed segment.
-            self.cwnd += cfg.mss
-        elif self.dupacks >= cfg.dupack_threshold:
+            fl.cwnd[slot] += cfg.mss
+        elif dupacks >= cfg.dupack_threshold:
             self._enter_fast_recovery()
         elif cfg.limited_transmit:
             # RFC 3042: the first two dupACKs each release one new segment
@@ -425,17 +490,23 @@ class TcpSender:
     def _cc_on_ack(self, newly_acked: int, ece: bool) -> None:
         """Window growth on a clean cumulative ACK (not in fast recovery)."""
         cfg = self.config
-        if self.cwnd < self.ssthresh:
+        fl = self._fl
+        slot = self._slot
+        cwnd_col = fl.cwnd
+        cwnd = cwnd_col[slot]
+        if cwnd < fl.ssthresh[slot]:
             # Slow start: one MSS per ACKed MSS (byte-counted, capped).
-            self.cwnd = min(self.cwnd + min(newly_acked, cfg.mss), cfg.rwnd_bytes)
+            cwnd_col[slot] = min(cwnd + min(newly_acked, cfg.mss), cfg.rwnd_bytes)
         else:
             # Congestion avoidance with Linux-style integer stepping: grow
             # by one MSS only after a full cwnd's worth of bytes is ACKed,
             # so the window rests at stable values like exactly 2 MSS.
-            self._ca_bytes_acked += newly_acked
-            if self._ca_bytes_acked >= self.cwnd:
-                self._ca_bytes_acked -= self.cwnd
-                self.cwnd = min(self.cwnd + cfg.mss, cfg.rwnd_bytes)
+            ca_col = fl.ca_bytes_acked
+            acked = ca_col[slot] + newly_acked
+            if acked >= cwnd:
+                acked -= cwnd
+                cwnd_col[slot] = min(cwnd + cfg.mss, cfg.rwnd_bytes)
+            ca_col[slot] = acked
 
     def _cc_on_timeout(self, kind: TimeoutKind) -> None:
         """Extra protocol reaction to an RTO (DCTCP+ hooks in here)."""

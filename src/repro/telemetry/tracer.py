@@ -31,7 +31,6 @@ from .collector import Collector
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from ..core.state_machine import SlowTimeStateMachine
-    from ..net.packet import Packet
     from ..net.queues import DropTailQueue
     from ..sim.engine import Simulator
     from ..tcp.sender import TcpSender
@@ -116,13 +115,15 @@ class Tracer(Collector):
         records.append(TraceRecord(self.sim.now, kind, subject, value, detail))
 
     # -- queue hooks (dispatched by the HookRegistry) ----------------------------
-    def queue_dropped(self, queue: "DropTailQueue", name: str, packet: "Packet") -> None:
-        self._emit("drop", name, queue.occupancy_bytes, f"flow={self._flow_label(packet.flow_id)}")
+    def queue_dropped(self, queue: "DropTailQueue", name: str, h: int) -> None:
+        flow_id = self.sim.pool.flow_id[h]
+        self._emit("drop", name, queue.occupancy_bytes, f"flow={self._flow_label(flow_id)}")
 
-    def queue_marked(self, queue: "DropTailQueue", name: str, packet: "Packet") -> None:
-        self._emit("mark", name, queue.occupancy_bytes, f"flow={self._flow_label(packet.flow_id)}")
+    def queue_marked(self, queue: "DropTailQueue", name: str, h: int) -> None:
+        flow_id = self.sim.pool.flow_id[h]
+        self._emit("mark", name, queue.occupancy_bytes, f"flow={self._flow_label(flow_id)}")
 
-    def queue_enqueued(self, queue: "DropTailQueue", name: str, packet: "Packet") -> None:
+    def queue_enqueued(self, queue: "DropTailQueue", name: str, h: int) -> None:
         occupancy = queue.occupancy_bytes
         if occupancy > self._hwm.get(queue, -1):
             self._hwm[queue] = occupancy

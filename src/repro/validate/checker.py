@@ -23,6 +23,13 @@ Per queue (every switch port and host NIC):
   independent count taken from the hook registry's ``queue_dropped`` /
   ``queue_marked`` events)
 - marks only issued when the instantaneous occupancy exceeds K
+- every resident packet handle is live in the packet pool
+
+Packet pool (``sim.pool``): handle conservation —
+``allocated_total - freed_total`` equals the number of live flags set,
+the freelist holds exactly the dead handles (no leaks, no double-frees
+that slipped past the pool's own guard), and every freelist entry is
+dead.
 
 Per port: the egress pump holds at most one in-flight frame
 (``dequeued == tx + (1 if serializing else 0)``).
@@ -51,7 +58,6 @@ from typing import TYPE_CHECKING, Dict, List
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from ..core.state_machine import SlowTimeStateMachine
-    from ..net.packet import Packet
     from ..net.port import OutputPort
     from ..net.queues import DropTailQueue
     from ..net.shared_buffer import SharedBufferSwitch
@@ -152,10 +158,10 @@ class InvariantChecker:
         machine.observer = _on_enter_time_inc
 
     # -- queue events (dispatched by the shared HookRegistry) -------------------
-    def queue_dropped(self, queue: "DropTailQueue", name: str, packet: "Packet") -> None:
+    def queue_dropped(self, queue: "DropTailQueue", name: str, h: int) -> None:
         self._record_by_queue[queue].drops_seen += 1
 
-    def queue_marked(self, queue: "DropTailQueue", name: str, packet: "Packet") -> None:
+    def queue_marked(self, queue: "DropTailQueue", name: str, h: int) -> None:
         record = self._record_by_queue[queue]
         record.marks_seen += 1
         threshold = queue.ecn_threshold_bytes
@@ -192,6 +198,7 @@ class InvariantChecker:
             self._check_pool(switch)
         for sender in self._senders:
             self._check_flow(sender)
+        self._check_packet_pool()
 
     def verify_all(self) -> Dict[str, int]:
         """Final sweep; returns a summary of what was watched.
@@ -241,6 +248,13 @@ class InvariantChecker:
                 f"queue {record.name}: mark counter mismatch — counter says "
                 f"{q.marked_packets}, on_mark fired {record.marks_seen} times"
             )
+        live = q.pool.live
+        for h in q._queue:
+            if not live[h]:
+                self._fail(
+                    f"queue {record.name}: resident packet handle {h} is dead "
+                    f"in the pool (freed while queued, or stale)"
+                )
 
     def _check_port(self, port: "OutputPort") -> None:
         q = port.queue
@@ -305,6 +319,29 @@ class InvariantChecker:
                 f"flow {fid}: receiver delivered {receiver.bytes_delivered}B "
                 f"but rcv_nxt={receiver.rcv_nxt}"
             )
+
+    def _check_packet_pool(self) -> None:
+        """Handle conservation over the struct-of-arrays packet pool."""
+        pool = self.sim.pool
+        if pool is None:
+            return
+        live_flags = sum(pool.live)
+        expected_live = pool.allocated_total - pool.freed_total
+        if live_flags != expected_live:
+            self._fail(
+                f"packet pool: live-flag count {live_flags} != allocated "
+                f"{pool.allocated_total} - freed {pool.freed_total}"
+            )
+        free = pool._free
+        if len(free) + live_flags != pool.capacity:
+            self._fail(
+                f"packet pool: freelist {len(free)} + live {live_flags} != "
+                f"capacity {pool.capacity} (leaked or duplicated handle)"
+            )
+        pool_live = pool.live
+        for h in free:
+            if pool_live[h]:
+                self._fail(f"packet pool: freelist holds live handle {h}")
 
     # -- failure -----------------------------------------------------------------
     def _fail(self, message: str) -> None:

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..net.host import Host
-from ..net.packet import Packet
+from ..net.pool import PacketPool
 from ..net.topology import TwoTierTree
 from ..sim.engine import Simulator
 from ..sim.units import MB, SEC, bits_per_second
@@ -105,12 +105,14 @@ class RoundResult:
 class _RequestListener:
     """Worker-side endpoint that starts the response on request arrival."""
 
-    __slots__ = ("callback",)
+    __slots__ = ("callback", "_pool_free")
 
-    def __init__(self, callback: Callable[[], None]):
+    def __init__(self, callback: Callable[[], None], pool: PacketPool):
         self.callback = callback
+        self._pool_free = pool.free
 
-    def on_packet(self, packet: Packet) -> None:
+    def on_packet(self, h: int) -> None:
+        self._pool_free(h)
         self.callback()
 
 
@@ -179,7 +181,7 @@ class IncastWorkload:
             self.senders.append(sender)
             self.receivers.append(receiver)
 
-            listener = _RequestListener(self._make_starter(sender))
+            listener = _RequestListener(self._make_starter(sender), PacketPool.of(sim))
             server.register_flow(ctrl_id, listener)
             self._ctrl.append((server, ctrl_id))
 
@@ -248,13 +250,15 @@ class IncastWorkload:
         sru = cfg.sru_bytes
         for receiver in self.receivers:
             receiver.expect(sru)
+        pool = PacketPool.of(sim)
+        aggregator_id = tree.aggregator.node_id
         for i, (server, ctrl_id) in enumerate(self._ctrl):
-            request = Packet(
+            request = pool.alloc_control(
                 ctrl_id,
-                tree.aggregator.node_id,
+                aggregator_id,
                 server.node_id,
-                wire_bytes=cfg.request_bytes,
-                packet_id=sim.next_packet_id(),
+                cfg.request_bytes,
+                sim.next_packet_id(),
             )
             if cfg.request_spacing_ns > 0:
                 sim.schedule(i * cfg.request_spacing_ns, tree.aggregator.send, request)

@@ -4,12 +4,62 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from repro.net.pool import PacketPool
 from repro.net.topology import TopologyParams, TwoTierTree, build_dumbbell
 from repro.sim.engine import Simulator
 from repro.tcp.config import TcpConfig
 from repro.tcp.receiver import TcpReceiver
 from repro.tcp.sender import TcpSender
 from repro.workloads.ids import next_flow_id
+
+
+def intern(sim: Simulator, packet) -> int:
+    """Copy a legacy :class:`~repro.net.packet.Packet` into ``sim``'s pool.
+
+    Unit tests build packets with the (stable, public) ``make_data_packet``
+    / ``make_ack_packet`` constructors and hand the interned *handle* to
+    handle-based components (endpoints, queues, links).
+    """
+    return PacketPool.of(sim).intern(packet)
+
+
+class Snap:
+    """Frozen copy of one pooled packet's fields (survives the free)."""
+
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "seq",
+        "payload_len",
+        "ack_seq",
+        "wire_bytes",
+        "packet_id",
+        "end_seq",
+        "is_ack",
+        "ect",
+        "ce",
+        "ece",
+        "inc",
+        "is_retransmit",
+    )
+
+    def __init__(self, pool: PacketPool, h: int):
+        view = pool.view(h)
+        for name in self.__slots__:
+            setattr(self, name, getattr(view, name))
+
+
+class CaptureEndpoint:
+    """Flow endpoint that snapshots then frees every delivered handle."""
+
+    def __init__(self, sim: Simulator):
+        self.pool = PacketPool.of(sim)
+        self.packets: list[Snap] = []
+
+    def on_packet(self, h: int) -> None:
+        self.packets.append(Snap(self.pool, h))
+        self.pool.free(h)
 
 #: a fast-firing RTO so loss tests don't simulate 200 ms of idle time
 FAST_RTO = TcpConfig(rto_min_ns=2_000_000, seed_rtt_ns=100_000)

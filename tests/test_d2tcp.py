@@ -12,6 +12,8 @@ from repro.workloads.ids import next_flow_id
 from repro.workloads.incast import IncastConfig, IncastWorkload
 from repro.workloads.protocols import spec_for
 
+from .helpers import intern
+
 MSS = 1460
 
 
@@ -89,7 +91,7 @@ class TestPlusVariant:
         sim, s = harness(cls=D2tcpPlusSender)
         s.cwnd = s.config.min_cwnd_bytes
         s.ssthresh = s.config.min_cwnd_bytes
-        s.on_packet(make_ack_packet(s.flow_id, s.dst_node_id, s.host.node_id, MSS, ece=True))
+        s.on_packet(intern(s.sim, make_ack_packet(s.flow_id, s.dst_node_id, s.host.node_id, MSS, ece=True)))
         assert s.slow_time_ns > 0
 
 

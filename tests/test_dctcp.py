@@ -11,6 +11,8 @@ from repro.tcp.dctcp import DctcpSender
 from repro.tcp.receiver import TcpReceiver
 from repro.workloads.ids import next_flow_id
 
+from .helpers import intern
+
 MSS = 1460
 
 
@@ -26,7 +28,10 @@ def harness(total=40 * MSS, **cfg_overrides):
 
 def ack(sender, ack_seq, ece=False):
     sender.on_packet(
-        make_ack_packet(sender.flow_id, sender.dst_node_id, sender.host.node_id, ack_seq, ece=ece)
+        intern(
+            sender.sim,
+            make_ack_packet(sender.flow_id, sender.dst_node_id, sender.host.node_id, ack_seq, ece=ece),
+        )
     )
 
 

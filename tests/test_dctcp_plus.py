@@ -12,6 +12,8 @@ from repro.sim.units import MS, US
 from repro.tcp.config import TcpConfig
 from repro.workloads.ids import next_flow_id
 
+from .helpers import intern
+
 MSS = 1460
 
 
@@ -31,7 +33,10 @@ def harness(total=40 * MSS, plus=None, **cfg_overrides):
 
 def ack(sender, ack_seq, ece=False):
     sender.on_packet(
-        make_ack_packet(sender.flow_id, sender.dst_node_id, sender.host.node_id, ack_seq, ece=ece)
+        intern(
+            sender.sim,
+            make_ack_packet(sender.flow_id, sender.dst_node_id, sender.host.node_id, ack_seq, ece=ece),
+        )
     )
 
 

@@ -10,13 +10,13 @@ from repro.sim.engine import Simulator
 from repro.sim.units import MS
 from repro.tcp.delack import DelayedAckReceiver
 
+from .helpers import CaptureEndpoint, intern
 
-class AckTrap:
-    def __init__(self):
-        self.acks = []
 
-    def on_packet(self, packet):
-        self.acks.append(packet)
+class AckTrap(CaptureEndpoint):
+    @property
+    def acks(self):
+        return self.packets
 
 
 def setup(ack_every=2, delack_timeout_ns=40 * MS):
@@ -27,7 +27,7 @@ def setup(ack_every=2, delack_timeout_ns=40 * MS):
     b.attach_link(Link(switch))
     switch.add_route(a.node_id, switch.add_port(Link(a)))
     switch.add_route(b.node_id, switch.add_port(Link(b)))
-    trap = AckTrap()
+    trap = AckTrap(sim)
     a.register_flow(1, trap)
     recv = DelayedAckReceiver(
         sim, b, a.node_id, 1, ack_every=ack_every, delack_timeout_ns=delack_timeout_ns
@@ -35,10 +35,10 @@ def setup(ack_every=2, delack_timeout_ns=40 * MS):
     return sim, recv, trap
 
 
-def seg(seq, length=1000, ce=False, ect=True):
+def seg(sim, seq, length=1000, ce=False, ect=True):
     pkt = make_data_packet(1, 0, 0, seq=seq, payload_len=length, ect=ect)
     pkt.ce = ce
-    return pkt
+    return intern(sim, pkt)
 
 
 class TestValidation:
@@ -53,24 +53,24 @@ class TestValidation:
 class TestCoalescing:
     def test_acks_every_second_segment(self):
         sim, recv, trap = setup()
-        recv.on_packet(seg(0))
+        recv.on_packet(seg(sim, 0))
         sim.run(until=1_000_000)
         assert len(trap.acks) == 0  # first segment held
-        recv.on_packet(seg(1000))
+        recv.on_packet(seg(sim, 1000))
         sim.run(until=2_000_000)
         assert len(trap.acks) == 1
         assert trap.acks[0].ack_seq == 2000
 
     def test_delack_timer_flushes_odd_segment(self):
         sim, recv, trap = setup(delack_timeout_ns=5 * MS)
-        recv.on_packet(seg(0))
+        recv.on_packet(seg(sim, 0))
         sim.run(until=10 * MS)
         assert len(trap.acks) == 1
         assert recv.delack_timeouts == 1
 
     def test_ack_every_one_behaves_immediately(self):
         sim, recv, trap = setup(ack_every=1)
-        recv.on_packet(seg(0))
+        recv.on_packet(seg(sim, 0))
         sim.run(until=1_000_000)
         assert len(trap.acks) == 1
 
@@ -78,15 +78,15 @@ class TestCoalescing:
 class TestOutOfOrderImmediate:
     def test_gap_acked_immediately(self):
         sim, recv, trap = setup()
-        recv.on_packet(seg(2000))  # hole at 0
+        recv.on_packet(seg(sim, 2000))  # hole at 0
         sim.run(until=1_000_000)
         assert len(trap.acks) == 1  # dupACK, not delayed
         assert trap.acks[0].ack_seq == 0
 
     def test_pending_flushed_before_dup(self):
         sim, recv, trap = setup()
-        recv.on_packet(seg(0))      # pending
-        recv.on_packet(seg(3000))   # out of order -> flush + immediate
+        recv.on_packet(seg(sim, 0))      # pending
+        recv.on_packet(seg(sim, 3000))   # out of order -> flush + immediate
         sim.run(until=1_000_000)
         assert [a.ack_seq for a in trap.acks] == [1000, 1000]
 
@@ -94,8 +94,8 @@ class TestOutOfOrderImmediate:
 class TestEceStateMachine:
     def test_state_change_forces_immediate_ack_with_old_state(self):
         sim, recv, trap = setup()
-        recv.on_packet(seg(0, ce=False))       # pending, state 0
-        recv.on_packet(seg(1000, ce=True))     # state change -> flush(ECE=0)
+        recv.on_packet(seg(sim, 0, ce=False))       # pending, state 0
+        recv.on_packet(seg(sim, 1000, ce=True))     # state change -> flush(ECE=0)
         sim.run(until=1_000_000)
         assert len(trap.acks) == 1
         assert trap.acks[0].ack_seq == 1000
@@ -103,26 +103,26 @@ class TestEceStateMachine:
 
     def test_marked_run_acked_with_ece(self):
         sim, recv, trap = setup()
-        recv.on_packet(seg(0, ce=True))        # state flips to 1, pending
-        recv.on_packet(seg(1000, ce=True))     # second marked -> delayed ack
+        recv.on_packet(seg(sim, 0, ce=True))        # state flips to 1, pending
+        recv.on_packet(seg(sim, 1000, ce=True))     # second marked -> delayed ack
         sim.run(until=1_000_000)
         assert len(trap.acks) == 1
         assert trap.acks[0].ece
 
     def test_return_to_clean_echoes_marked_run(self):
         sim, recv, trap = setup()
-        recv.on_packet(seg(0, ce=True))
-        recv.on_packet(seg(1000, ce=False))    # state change -> flush(ECE=1)
+        recv.on_packet(seg(sim, 0, ce=True))
+        recv.on_packet(seg(sim, 1000, ce=False))    # state change -> flush(ECE=1)
         sim.run(until=1_000_000)
         assert trap.acks[0].ece
-        recv.on_packet(seg(2000, ce=False))
+        recv.on_packet(seg(sim, 2000, ce=False))
         sim.run(until=2_000_000)
         assert not trap.acks[1].ece
 
     def test_non_ect_traffic_never_ece(self):
         sim, recv, trap = setup()
-        recv.on_packet(seg(0, ect=False))
-        recv.on_packet(seg(1000, ect=False))
+        recv.on_packet(seg(sim, 0, ect=False))
+        recv.on_packet(seg(sim, 1000, ect=False))
         sim.run(until=1_000_000)
         assert not trap.acks[0].ece
 
@@ -131,11 +131,11 @@ class TestEceStateMachine:
         sender's fraction estimate stays exact across coalescing."""
         sim, recv, trap = setup()
         # 2 clean, 2 marked, 2 clean
-        recv.on_packet(seg(0, ce=False))
-        recv.on_packet(seg(1000, ce=False))    # delayed ack (ECE=0) @2000
-        recv.on_packet(seg(2000, ce=True))     # state change, pending
-        recv.on_packet(seg(3000, ce=True))     # delayed ack (ECE=1) @4000
-        recv.on_packet(seg(4000, ce=False))    # flush(ECE=1)? state change ->
+        recv.on_packet(seg(sim, 0, ce=False))
+        recv.on_packet(seg(sim, 1000, ce=False))    # delayed ack (ECE=0) @2000
+        recv.on_packet(seg(sim, 2000, ce=True))     # state change, pending
+        recv.on_packet(seg(sim, 3000, ce=True))     # delayed ack (ECE=1) @4000
+        recv.on_packet(seg(sim, 4000, ce=False))    # flush(ECE=1)? state change ->
         sim.run(until=1_000_000)
         ack_seqs = [(a.ack_seq, a.ece) for a in trap.acks]
         assert (2000, False) in ack_seqs
@@ -148,8 +148,8 @@ class TestOutOfOrderCeChange:
 
     def test_ooo_marked_segment_flips_state(self):
         sim, recv, trap = setup()
-        recv.on_packet(seg(0, ce=False))       # pending, state 0
-        recv.on_packet(seg(2000, ce=True))     # out of order + CE change
+        recv.on_packet(seg(sim, 0, ce=False))       # pending, state 0
+        recv.on_packet(seg(sim, 2000, ce=True))     # out of order + CE change
         sim.run(until=1_000_000)
         # Pending run flushed with the old state, then the dupACK carries
         # the *new* state — previously the mark vanished entirely.
@@ -158,18 +158,18 @@ class TestOutOfOrderCeChange:
 
     def test_ooo_return_to_clean_flips_back(self):
         sim, recv, trap = setup()
-        recv.on_packet(seg(0, ce=True))        # state flips to 1, pending
-        recv.on_packet(seg(2000, ce=False))    # OOO + CE change back
+        recv.on_packet(seg(sim, 0, ce=True))        # state flips to 1, pending
+        recv.on_packet(seg(sim, 2000, ce=False))    # OOO + CE change back
         sim.run(until=1_000_000)
         assert [(a.ack_seq, a.ece) for a in trap.acks] == [(1000, True), (1000, False)]
         assert recv._ce_state is False
 
     def test_hole_fill_coalesces_with_flipped_state(self):
         sim, recv, trap = setup()
-        recv.on_packet(seg(0, ce=False))
-        recv.on_packet(seg(1000, ce=False))    # delayed ack (2000, ECE=0)
-        recv.on_packet(seg(3000, ce=True))     # OOO: state -> 1, dupACK(ECE=1)
-        recv.on_packet(seg(2000, ce=True))     # fills the hole to 4000
+        recv.on_packet(seg(sim, 0, ce=False))
+        recv.on_packet(seg(sim, 1000, ce=False))    # delayed ack (2000, ECE=0)
+        recv.on_packet(seg(sim, 3000, ce=True))     # OOO: state -> 1, dupACK(ECE=1)
+        recv.on_packet(seg(sim, 2000, ce=True))     # fills the hole to 4000
         sim.run(until=100_000_000)
         assert (2000, False) in [(a.ack_seq, a.ece) for a in trap.acks]
         # The ACK covering the marked run echoes the mark.
@@ -180,7 +180,7 @@ class TestOutOfOrderCeChange:
 class TestClose:
     def test_close_cancels_timer(self):
         sim, recv, trap = setup(delack_timeout_ns=5 * MS)
-        recv.on_packet(seg(0))
+        recv.on_packet(seg(sim, 0))
         recv.close()
         sim.run_until_idle()
         assert len(trap.acks) == 0

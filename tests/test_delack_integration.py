@@ -16,6 +16,8 @@ from repro.tcp.delack import DelayedAckReceiver
 from repro.tcp.receiver import TcpReceiver
 from repro.workloads.ids import next_flow_id
 
+from .helpers import CaptureEndpoint, intern
+
 TOTAL = 2_000_000
 MSS = 1460
 
@@ -86,17 +88,16 @@ class TestAlphaPinnedToMarkSequence:
         # Receiver side: six MSS-sized segments with CE = F F T T F F.
         sim = Simulator()
         tree = build_dumbbell(sim, n_senders=1)
-        acks = []
-        tree.servers[0].register_flow(
-            7, type("Trap", (), {"on_packet": lambda s, p: acks.append(p)})()
-        )
+        trap = CaptureEndpoint(sim)
+        acks = trap.packets
+        tree.servers[0].register_flow(7, trap)
         recv = DelayedAckReceiver(
             sim, tree.aggregator, tree.servers[0].node_id, 7, ack_every=2
         )
         for i, ce in enumerate([False, False, True, True, False, False]):
             pkt = make_data_packet(7, 0, 0, seq=i * MSS, payload_len=MSS, ect=True)
             pkt.ce = ce
-            recv.on_packet(pkt)
+            recv.on_packet(intern(sim, pkt))
         sim.run_until_idle()
         # Coalescing: clean pair, marked pair, clean pair -> three ACKs.
         assert [(a.ack_seq, a.ece) for a in acks] == [
@@ -112,8 +113,7 @@ class TestAlphaPinnedToMarkSequence:
         s.send(6 * MSS)
         assert s.snd_nxt == 6 * MSS  # window 2 closes on the final ACK
         for ack in acks:
-            ack.dst = tree2.servers[0].node_id
-            s._on_ack(ack)
+            s._on_ack(ack.ack_seq, ack.ece)
 
         g = cfg.dctcp_g
         # Window 1 ends on the first ACK (win_end_seq starts at 0): F = 0.

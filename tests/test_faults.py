@@ -249,6 +249,10 @@ class TestLimitedTransmit:
         sent_before = sender.snd_nxt
         from repro.net.packet import make_ack_packet
 
+        from .helpers import intern
+
         for _ in range(2):  # two dupACKs -> at most two extra segments
-            sender.on_packet(make_ack_packet(flow, sender.dst_node_id, sender.host.node_id, 0))
+            sender.on_packet(
+                intern(sim, make_ack_packet(flow, sender.dst_node_id, sender.host.node_id, 0))
+            )
         assert sender.snd_nxt <= sent_before + 2 * MSS

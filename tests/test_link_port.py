@@ -5,14 +5,17 @@ import pytest
 from repro.net.link import Link
 from repro.net.node import Node
 from repro.net.packet import make_data_packet
+from repro.net.pool import PacketPool
 from repro.net.port import OutputPort
 from repro.net.queues import DropTailQueue
 from repro.sim.engine import Simulator
 from repro.sim.units import GBPS
 
+from .helpers import intern
+
 
 class Sink(Node):
-    """Records (arrival_time, packet)."""
+    """Records (arrival_time, handle)."""
 
     __slots__ = ("arrivals",)
 
@@ -20,20 +23,20 @@ class Sink(Node):
         super().__init__(sim, "sink")
         self.arrivals = []
 
-    def receive(self, packet):
-        self.arrivals.append((self.sim.now, packet))
+    def receive(self, h):
+        self.arrivals.append((self.sim.now, h))
 
 
 def make_port(sim, sink, rate=GBPS, prop=10_000, capacity=1_000_000):
     link = Link(sink, rate, prop)
-    return OutputPort(sim, link, DropTailQueue(capacity, None))
+    return OutputPort(sim, link, DropTailQueue(capacity, None, pool=PacketPool.of(sim)))
 
 
 class TestLink:
     def test_serialization_delay(self):
         link = Link(None, GBPS, 0)
         pkt = make_data_packet(1, 0, 1, seq=0, payload_len=1460)
-        assert link.serialization_delay(pkt) == 12_000  # 1500 B at 1 Gbps
+        assert link.serialization_delay(pkt.wire_bytes) == 12_000  # 1500 B at 1 Gbps
 
     def test_rejects_bad_rate(self):
         with pytest.raises(ValueError):
@@ -47,7 +50,7 @@ class TestLink:
         sim = Simulator()
         sink = Sink(sim)
         port = make_port(sim, sink)
-        port.send(make_data_packet(1, 0, sink.node_id, seq=0, payload_len=1460))
+        port.send(intern(sim, make_data_packet(1, 0, sink.node_id, seq=0, payload_len=1460)))
         sim.run_until_idle()
         assert port.link.delivered_packets == 1
         assert port.link.delivered_bytes == 1500
@@ -58,7 +61,7 @@ class TestOutputPort:
         sim = Simulator()
         sink = Sink(sim)
         port = make_port(sim, sink, prop=10_000)
-        port.send(make_data_packet(1, 0, sink.node_id, seq=0, payload_len=1460))
+        port.send(intern(sim, make_data_packet(1, 0, sink.node_id, seq=0, payload_len=1460)))
         sim.run_until_idle()
         # 12 us serialization + 10 us propagation
         assert sink.arrivals[0][0] == 22_000
@@ -68,7 +71,7 @@ class TestOutputPort:
         sink = Sink(sim)
         port = make_port(sim, sink)
         for i in range(3):
-            port.send(make_data_packet(1, 0, sink.node_id, seq=i, payload_len=1460))
+            port.send(intern(sim, make_data_packet(1, 0, sink.node_id, seq=i, payload_len=1460)))
         sim.run_until_idle()
         times = [t for t, _ in sink.arrivals]
         assert times[1] - times[0] == 12_000
@@ -78,20 +81,23 @@ class TestOutputPort:
         sim = Simulator()
         sink = Sink(sim)
         port = make_port(sim, sink)
-        pkts = [make_data_packet(1, 0, sink.node_id, seq=i, payload_len=100) for i in range(10)]
-        for p in pkts:
-            port.send(p)
+        handles = [
+            intern(sim, make_data_packet(1, 0, sink.node_id, seq=i, payload_len=100))
+            for i in range(10)
+        ]
+        for h in handles:
+            port.send(h)
         sim.run_until_idle()
-        assert [p for _, p in sink.arrivals] == pkts
+        assert [h for _, h in sink.arrivals] == handles
 
     def test_pump_restarts_after_idle(self):
         sim = Simulator()
         sink = Sink(sim)
         port = make_port(sim, sink)
-        port.send(make_data_packet(1, 0, sink.node_id, seq=0, payload_len=1460))
+        port.send(intern(sim, make_data_packet(1, 0, sink.node_id, seq=0, payload_len=1460)))
         sim.run_until_idle()
         t_first = sink.arrivals[0][0]
-        port.send(make_data_packet(1, 0, sink.node_id, seq=1, payload_len=1460))
+        port.send(intern(sim, make_data_packet(1, 0, sink.node_id, seq=1, payload_len=1460)))
         sim.run_until_idle()
         assert sink.arrivals[1][0] == sim.now
         assert sink.arrivals[1][0] > t_first
@@ -102,16 +108,16 @@ class TestOutputPort:
         port = make_port(sim, sink, capacity=1500)
         # first packet starts serializing immediately (leaves the queue),
         # second occupies the whole buffer, third is tail-dropped
-        assert port.send(make_data_packet(1, 0, sink.node_id, seq=0, payload_len=1460))
-        assert port.send(make_data_packet(1, 0, sink.node_id, seq=1, payload_len=1460))
-        assert not port.send(make_data_packet(1, 0, sink.node_id, seq=2, payload_len=1460))
+        assert port.send(intern(sim, make_data_packet(1, 0, sink.node_id, seq=0, payload_len=1460)))
+        assert port.send(intern(sim, make_data_packet(1, 0, sink.node_id, seq=1, payload_len=1460)))
+        assert not port.send(intern(sim, make_data_packet(1, 0, sink.node_id, seq=2, payload_len=1460)))
 
     def test_backlog_excludes_in_flight_frame(self):
         sim = Simulator()
         sink = Sink(sim)
         port = make_port(sim, sink)
-        port.send(make_data_packet(1, 0, sink.node_id, seq=0, payload_len=1460))
-        port.send(make_data_packet(1, 0, sink.node_id, seq=1, payload_len=1460))
+        port.send(intern(sim, make_data_packet(1, 0, sink.node_id, seq=0, payload_len=1460)))
+        port.send(intern(sim, make_data_packet(1, 0, sink.node_id, seq=1, payload_len=1460)))
         # first frame started serializing immediately, second waits
         assert port.backlog_bytes == 1500
 
@@ -120,7 +126,7 @@ class TestOutputPort:
         sink = Sink(sim)
         port = make_port(sim, sink)
         for i in range(4):
-            port.send(make_data_packet(1, 0, sink.node_id, seq=i, payload_len=1460))
+            port.send(intern(sim, make_data_packet(1, 0, sink.node_id, seq=i, payload_len=1460)))
         sim.run_until_idle()
         assert port.tx_packets == 4
         assert port.tx_bytes == 4 * 1500

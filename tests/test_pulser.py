@@ -12,40 +12,49 @@ from repro.tcp.config import TcpConfig
 from repro.tcp.pulser import INC_BACKOFF_FACTOR, PulserSender, install_incast_notification
 from repro.tcp.receiver import TcpReceiver
 from repro.workloads.ids import next_flow_id
+from repro.net.pool import PacketPool
+
+from .helpers import CaptureEndpoint, intern
 
 MSS = 1460
 
 
-def seg(seq, inc=False):
+def seg(sim, seq, inc=False):
     pkt = make_data_packet(1, 0, 0, seq=seq, payload_len=1000, ect=True)
     pkt.inc = inc
-    return pkt
+    return intern(sim, pkt)
 
 
 class TestQueueMarking:
     def test_disabled_by_default(self):
-        q = DropTailQueue(capacity_bytes=10_000, ecn_threshold_bytes=None)
+        sim = Simulator()
+        pool = PacketPool.of(sim)
+        q = DropTailQueue(capacity_bytes=10_000, ecn_threshold_bytes=None, pool=pool)
         for i in range(9):
-            q.enqueue(seg(i * 1000))
+            q.enqueue(seg(sim, i * 1000))
         assert q.inc_marked_packets == 0
-        assert all(not p.inc for p in q._queue)
+        assert all(not pool.view(h).inc for h in q._queue)
 
     def test_marks_above_threshold_only(self):
-        q = DropTailQueue(capacity_bytes=100_000, ecn_threshold_bytes=None)
+        sim = Simulator()
+        pool = PacketPool.of(sim)
+        q = DropTailQueue(capacity_bytes=100_000, ecn_threshold_bytes=None, pool=pool)
         q.inc_threshold_bytes = 3_000
-        packets = [seg(i * 1000) for i in range(6)]
-        for p in packets:
-            q.enqueue(p)
+        handles = [seg(sim, i * 1000) for i in range(6)]
+        for h in handles:
+            q.enqueue(h)
         # Wire size is payload + header, so occupancy passes 3000 after
         # the third admit; the 4th..6th arrivals see occupancy > threshold.
-        assert [p.inc for p in packets] == [False, False, False, True, True, True]
+        assert [pool.view(h).inc for h in handles] == [False, False, False, True, True, True]
         assert q.inc_marked_packets == 3
 
     def test_already_marked_packet_not_recounted(self):
-        q = DropTailQueue(capacity_bytes=100_000, ecn_threshold_bytes=None)
+        sim = Simulator()
+        pool = PacketPool.of(sim)
+        q = DropTailQueue(capacity_bytes=100_000, ecn_threshold_bytes=None, pool=pool)
         q.inc_threshold_bytes = 0
-        q.enqueue(seg(0))  # occupancy 0 at arrival: not > 0, unmarked
-        marked = seg(1000, inc=True)
+        q.enqueue(seg(sim, 0))  # occupancy 0 at arrival: not > 0, unmarked
+        marked = seg(sim, 1000, inc=True)
         q.enqueue(marked)
         assert q.inc_marked_packets == 0
 
@@ -80,15 +89,15 @@ class TestReceiverEcho:
     def test_inc_echoed_once_then_cleared(self):
         sim = Simulator()
         tree = build_dumbbell(sim, n_senders=1)
-        acks = []
-        tree.servers[0].register_flow(1, type("T", (), {"on_packet": lambda s, p: acks.append(p)})())
+        trap = CaptureEndpoint(sim)
+        tree.servers[0].register_flow(1, trap)
         recv = TcpReceiver(sim, tree.aggregator, tree.servers[0].node_id, 1)
         marked = make_data_packet(1, 0, 0, seq=0, payload_len=1000, ect=True)
         marked.inc = True
-        recv.on_packet(marked)
-        recv.on_packet(make_data_packet(1, 0, 0, seq=1000, payload_len=1000, ect=True))
+        recv.on_packet(intern(sim, marked))
+        recv.on_packet(intern(sim, make_data_packet(1, 0, 0, seq=1000, payload_len=1000, ect=True)))
         sim.run_until_idle()
-        assert [a.inc for a in acks] == [True, False]
+        assert [a.inc for a in trap.packets] == [True, False]
 
 
 def harness(total=100 * MSS):
@@ -104,9 +113,8 @@ def harness(total=100 * MSS):
 
 
 def inc_ack(sender, ack_seq):
-    return make_ack_packet(
-        sender.flow_id, sender.dst_node_id, sender.host.node_id, ack_seq, inc=True
-    )
+    """Deliver an incast-echo ACK straight into the sender state machine."""
+    sender._on_ack(ack_seq, False, 1)
 
 
 class TestSenderBackoff:
@@ -114,12 +122,12 @@ class TestSenderBackoff:
         sim, s = harness()
         s.cwnd = 20.0 * MSS
         before = s.cwnd
-        s._on_ack(inc_ack(s, MSS))
+        inc_ack(s, MSS)
         assert s.incast_backoffs == 1
         assert s.cwnd == pytest.approx(before * INC_BACKOFF_FACTOR, rel=0.1)
         after_first = s.cwnd
         # A second echo inside the same window of data is ignored.
-        s._on_ack(inc_ack(s, 2 * MSS))
+        inc_ack(s, 2 * MSS)
         assert s.incast_backoffs == 1
         assert s.inc_acks_received == 2
         assert s.cwnd <= after_first + MSS
@@ -127,21 +135,21 @@ class TestSenderBackoff:
     def test_guard_reopens_after_window_advances(self):
         sim, s = harness()
         s.cwnd = 20.0 * MSS
-        s._on_ack(inc_ack(s, MSS))
+        inc_ack(s, MSS)
         guard = s._inc_guard_seq
         assert s.snd_una < guard <= s.snd_nxt
         # A plain ACK advances snd_una past the guard; the next echo is
         # a fresh window of data and backs off again.
-        s._on_ack(make_ack_packet(s.flow_id, s.dst_node_id, s.host.node_id, guard))
+        s._on_ack(guard, False, 0)
         assert s.snd_una >= guard
-        s._on_ack(inc_ack(s, s.snd_una))
+        inc_ack(s, s.snd_una)
         assert s.incast_backoffs == 2
 
     def test_window_never_below_floor(self):
         sim, s = harness()
         floor = s.config.min_cwnd_bytes
         s.cwnd = float(floor)
-        s._on_ack(inc_ack(s, MSS))
+        inc_ack(s, MSS)
         assert s.cwnd >= floor
 
 

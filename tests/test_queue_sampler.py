@@ -8,6 +8,8 @@ from repro.net.topology import build_dumbbell
 from repro.sim.engine import Simulator
 from repro.sim.units import US
 
+from .helpers import intern
+
 
 def setup():
     sim = Simulator()
@@ -31,7 +33,9 @@ class TestSampling:
         sampler = QueueSampler(sim, port)
         # park packets in the queue (one serializes, the rest wait)
         for i in range(5):
-            port.send(make_data_packet(1, 0, tree.aggregator.node_id, seq=i, payload_len=1460))
+            port.send(
+                intern(sim, make_data_packet(1, 0, tree.aggregator.node_id, seq=i, payload_len=1460))
+            )
         sampler.start()
         sim.run(max_events=1)  # take the t=0 sample only
         assert sampler.occupancy_bytes[0] == 4 * 1500

@@ -1,35 +1,47 @@
-"""Tests for the drop-tail + ECN-marking queue."""
+"""Tests for the drop-tail + ECN-marking queue (pooled-handle based)."""
 
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.net.packet import make_data_packet
+from repro.net.pool import PacketPool
 from repro.net.queues import DropTailQueue
 
 
-def _pkt(payload=1460, ect=True, flow=1):
-    return make_data_packet(flow, 0, 1, seq=0, payload_len=payload, ect=ect)
+def _fresh():
+    """A standalone pool + a packet factory interning into it."""
+    pool = PacketPool()
+
+    def pkt(payload=1460, ect=True, flow=1, ce=False):
+        p = make_data_packet(flow, 0, 1, seq=0, payload_len=payload, ect=ect)
+        p.ce = ce
+        return pool.intern(p)
+
+    return pool, pkt
 
 
 class TestDropTail:
     def test_enqueue_dequeue_fifo(self):
-        q = DropTailQueue(10_000, None)
-        pkts = [_pkt(100) for _ in range(5)]
-        for p in pkts:
-            assert q.enqueue(p)
-        assert [q.dequeue() for _ in range(5)] == pkts
+        pool, pkt = _fresh()
+        q = DropTailQueue(10_000, None, pool=pool)
+        handles = [pkt(100) for _ in range(5)]
+        for h in handles:
+            assert q.enqueue(h)
+        assert [q.dequeue() for _ in range(5)] == handles
 
     def test_overflow_drops(self):
-        q = DropTailQueue(3000, None)
-        assert q.enqueue(_pkt())   # 1500
-        assert q.enqueue(_pkt())   # 3000
-        assert not q.enqueue(_pkt())
+        pool, pkt = _fresh()
+        q = DropTailQueue(3000, None, pool=pool)
+        assert q.enqueue(pkt())   # 1500
+        assert q.enqueue(pkt())   # 3000
+        assert not q.enqueue(pkt())
         assert q.dropped_packets == 1
 
     def test_occupancy_accounting(self):
-        q = DropTailQueue(10_000, None)
-        q.enqueue(_pkt(500))
-        q.enqueue(_pkt(700))
+        pool, pkt = _fresh()
+        q = DropTailQueue(10_000, None, pool=pool)
+        q.enqueue(pkt(500))
+        q.enqueue(pkt(700))
         assert q.occupancy_bytes == 540 + 740
         q.dequeue()
         assert q.occupancy_bytes == 740
@@ -37,89 +49,107 @@ class TestDropTail:
         assert q.occupancy_bytes == 0
 
     def test_dequeue_empty(self):
-        assert DropTailQueue(1000, None).dequeue() is None
+        pool, pkt = _fresh()
+        assert DropTailQueue(1000, None, pool=pool).dequeue() is None
 
     def test_drop_callback(self):
+        pool, pkt = _fresh()
         dropped = []
-        q = DropTailQueue(1000, None, on_drop=dropped.append)
-        q.enqueue(_pkt(800))
-        q.enqueue(_pkt(800))
+        q = DropTailQueue(1000, None, on_drop=dropped.append, pool=pool)
+        q.enqueue(pkt(800))
+        q.enqueue(pkt(800))
         assert len(dropped) == 1
 
+    def test_dropped_handle_is_freed(self):
+        pool, pkt = _fresh()
+        q = DropTailQueue(1000, None, pool=pool)
+        q.enqueue(pkt(800))
+        h = pkt(800)
+        assert not q.enqueue(h)
+        assert not pool.live[h]
+
     def test_counters(self):
-        q = DropTailQueue(2000, None)
-        q.enqueue(_pkt(500))
-        q.enqueue(_pkt(500))
-        q.enqueue(_pkt(5000))  # dropped
+        pool, pkt = _fresh()
+        q = DropTailQueue(2000, None, pool=pool)
+        q.enqueue(pkt(500))
+        q.enqueue(pkt(500))
+        q.enqueue(pkt(5000))  # dropped
         assert q.enqueued_packets == 2
         assert q.enqueued_bytes == 1080
         assert q.dropped_bytes == 5040
 
     def test_rejects_bad_capacity(self):
+        pool = PacketPool()
         with pytest.raises(ValueError):
-            DropTailQueue(0, None)
+            DropTailQueue(0, None, pool=pool)
         with pytest.raises(ValueError):
-            DropTailQueue(-5, None)
+            DropTailQueue(-5, None, pool=pool)
 
     def test_rejects_negative_threshold(self):
         with pytest.raises(ValueError):
-            DropTailQueue(1000, -1)
+            DropTailQueue(1000, -1, pool=PacketPool())
 
 
 class TestEcnMarking:
     def test_marks_when_occupancy_exceeds_threshold(self):
-        q = DropTailQueue(100_000, 2000)
-        q.enqueue(_pkt())  # occupancy 1500 <= K: no mark on next check? (1500 < 2000)
-        p2 = _pkt()
-        q.enqueue(p2)      # occupancy before enqueue = 1500 < 2000 -> unmarked
-        assert not p2.ce
-        p3 = _pkt()
-        q.enqueue(p3)      # occupancy 3000 > 2000 -> marked
-        assert p3.ce
+        pool, pkt = _fresh()
+        q = DropTailQueue(100_000, 2000, pool=pool)
+        q.enqueue(pkt())  # occupancy 1500 <= K: no mark on next check? (1500 < 2000)
+        h2 = pkt()
+        q.enqueue(h2)      # occupancy before enqueue = 1500 < 2000 -> unmarked
+        assert not pool.view(h2).ce
+        h3 = pkt()
+        q.enqueue(h3)      # occupancy 3000 > 2000 -> marked
+        assert pool.view(h3).ce
         assert q.marked_packets == 1
 
     def test_threshold_is_strict(self):
-        q = DropTailQueue(100_000, 1500)
-        q.enqueue(_pkt(1460))  # occupancy exactly 1500
-        p = _pkt()
-        q.enqueue(p)  # 1500 > 1500 is False -> no mark
-        assert not p.ce
+        pool, pkt = _fresh()
+        q = DropTailQueue(100_000, 1500, pool=pool)
+        q.enqueue(pkt(1460))  # occupancy exactly 1500
+        h = pkt()
+        q.enqueue(h)  # 1500 > 1500 is False -> no mark
+        assert not pool.view(h).ce
 
     def test_non_ect_packets_never_marked(self):
-        q = DropTailQueue(100_000, 0)
-        q.enqueue(_pkt())
-        p = _pkt(ect=False)
-        q.enqueue(p)
-        assert not p.ce
+        pool, pkt = _fresh()
+        q = DropTailQueue(100_000, 0, pool=pool)
+        q.enqueue(pkt())
+        h = pkt(ect=False)
+        q.enqueue(h)
+        assert not pool.view(h).ce
 
     def test_marking_disabled_with_none(self):
-        q = DropTailQueue(100_000, None)
-        q.enqueue(_pkt())
-        p = _pkt()
-        q.enqueue(p)
-        assert not p.ce
+        pool, pkt = _fresh()
+        q = DropTailQueue(100_000, None, pool=pool)
+        q.enqueue(pkt())
+        h = pkt()
+        q.enqueue(h)
+        assert not pool.view(h).ce
 
     def test_mark_callback(self):
+        pool, pkt = _fresh()
         marked = []
-        q = DropTailQueue(100_000, 0, on_mark=marked.append)
-        q.enqueue(_pkt())
-        q.enqueue(_pkt())
+        q = DropTailQueue(100_000, 0, on_mark=marked.append, pool=pool)
+        q.enqueue(pkt())
+        q.enqueue(pkt())
         assert len(marked) == 1  # first saw empty queue
 
     def test_already_ce_not_double_counted(self):
-        q = DropTailQueue(100_000, 0)
-        q.enqueue(_pkt())
-        p = _pkt()
-        p.ce = True
-        q.enqueue(p)
+        pool, pkt = _fresh()
+        q = DropTailQueue(100_000, 0, pool=pool)
+        q.enqueue(pkt())
+        q.enqueue(pkt(ce=True))
         assert q.marked_packets == 0
 
     def test_marked_then_dropped_still_counts_drop(self):
-        q = DropTailQueue(2000, 0)
-        q.enqueue(_pkt())
-        p = _pkt()
-        assert not q.enqueue(p)
-        assert p.ce  # marked before the admission decision
+        pool, pkt = _fresh()
+        marked = []
+        q = DropTailQueue(2000, 0, on_mark=marked.append, pool=pool)
+        q.enqueue(pkt())
+        h = pkt()
+        assert not q.enqueue(h)
+        assert marked == [h]  # marked before the admission decision
         assert q.dropped_packets == 1
 
 
@@ -132,17 +162,19 @@ class TestQueueInvariants:
     )
     def test_occupancy_matches_contents(self, ops):
         """Random enqueue/dequeue mix: byte accounting never drifts."""
-        q = DropTailQueue(10_000, 3_000)
+        pool, pkt = _fresh()
+        q = DropTailQueue(10_000, 3_000, pool=pool)
         expected = []
         for is_enqueue, size in ops:
             if is_enqueue:
-                p = _pkt(size)
-                if q.enqueue(p):
-                    expected.append(p.wire_bytes)
+                h = pkt(size)
+                if q.enqueue(h):
+                    expected.append(pool.wire_bytes[h])
             else:
                 got = q.dequeue()
                 if expected:
-                    assert got is not None and got.wire_bytes == expected.pop(0)
+                    assert got is not None and pool.wire_bytes[got] == expected.pop(0)
+                    pool.free(got)
                 else:
                     assert got is None
             assert q.occupancy_bytes == sum(expected)

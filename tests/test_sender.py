@@ -17,6 +17,8 @@ from repro.tcp.sender import TcpSender
 from repro.tcp.timeouts import TimeoutKind
 from repro.workloads.ids import next_flow_id
 
+from .helpers import intern
+
 MSS = 1460
 
 
@@ -33,7 +35,7 @@ def harness(total=20 * MSS, **cfg_overrides):
 
 def ack(sender, ack_seq, ece=False):
     pkt = make_ack_packet(sender.flow_id, sender.dst_node_id, sender.host.node_id, ack_seq, ece=ece)
-    sender.on_packet(pkt)
+    sender.on_packet(intern(sender.sim, pkt))
 
 
 class TestWindowAndSending:

@@ -23,6 +23,8 @@ from repro.tcp.dctcp import DctcpSender
 from repro.tcp.sender import TcpSender
 from repro.workloads.ids import next_flow_id
 
+from .helpers import intern
+
 MSS = 1460
 TOTAL = 30 * MSS
 
@@ -89,9 +91,12 @@ class TestAckFuzz:
                 sim.run(until=sim.now + delay)
             ack_seq = min(seg_offset * MSS, TOTAL)
             sender.on_packet(
-                make_ack_packet(
-                    sender.flow_id, sender.dst_node_id, sender.host.node_id,
-                    ack_seq, ece=ece,
+                intern(
+                    sim,
+                    make_ack_packet(
+                        sender.flow_id, sender.dst_node_id, sender.host.node_id,
+                        ack_seq, ece=ece,
+                    ),
                 )
             )
             check_invariants(sender)
@@ -185,9 +190,12 @@ class TestDctcpPlusSenderMachineProperties:
             before = machine.slow_time_ns
             state_before = machine.state
             sender.on_packet(
-                make_ack_packet(
-                    sender.flow_id, sender.dst_node_id, sender.host.node_id,
-                    min(seg_offset * MSS, TOTAL), ece=ece,
+                intern(
+                    sim,
+                    make_ack_packet(
+                        sender.flow_id, sender.dst_node_id, sender.host.node_id,
+                        min(seg_offset * MSS, TOTAL), ece=ece,
+                    ),
                 )
             )
             after = machine.slow_time_ns
@@ -217,9 +225,12 @@ class TestMonotonicity:
         high_water = 0
         for seg in acks:
             sender.on_packet(
-                make_ack_packet(
-                    sender.flow_id, sender.dst_node_id, sender.host.node_id,
-                    min(seg * MSS, TOTAL),
+                intern(
+                    sim,
+                    make_ack_packet(
+                        sender.flow_id, sender.dst_node_id, sender.host.node_id,
+                        min(seg * MSS, TOTAL),
+                    ),
                 )
             )
             assert sender.snd_una >= high_water

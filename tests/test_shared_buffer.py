@@ -9,6 +9,8 @@ from repro.net.shared_buffer import SharedBufferSwitch
 from repro.net.switch import Switch
 from repro.sim.engine import Simulator
 
+from .helpers import intern
+
 
 def wire(sim, switch):
     """Two hosts behind one switch."""
@@ -23,9 +25,10 @@ def wire(sim, switch):
 
 
 def fill(port, n, dst, size=1460):
+    sim = port.sim
     sent = 0
     for i in range(n):
-        if port.send(make_data_packet(1, 0, dst, seq=i * size, payload_len=size)):
+        if port.send(intern(sim, make_data_packet(1, 0, dst, seq=i * size, payload_len=size))):
             sent += 1
     return sent
 
@@ -87,18 +90,20 @@ class TestForwarding:
         a, b, pa, pb = wire(sim, switch)
 
         class Sink:
-            def __init__(self):
+            def __init__(self, sim):
+                self.free = sim.pool.free
                 self.n = 0
 
-            def on_packet(self, p):
+            def on_packet(self, h):
+                self.free(h)
                 self.n += 1
 
-        sink = Sink()
+        sink = Sink(sim)
         b.register_flow(9, sink)
-        a.send(make_data_packet(9, a.node_id, b.node_id, seq=0, payload_len=10))
+        a.send(intern(sim, make_data_packet(9, a.node_id, b.node_id, seq=0, payload_len=10)))
         sim.run_until_idle()
         assert sink.n == 1
-        a.send(make_data_packet(9, a.node_id, 424242, seq=0, payload_len=10))
+        a.send(intern(sim, make_data_packet(9, a.node_id, 424242, seq=0, payload_len=10)))
         sim.run_until_idle()
         assert switch.unroutable_drops == 1
 

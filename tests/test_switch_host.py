@@ -8,13 +8,7 @@ from repro.net.packet import Packet, make_data_packet
 from repro.net.switch import Switch
 from repro.sim.engine import Simulator
 
-
-class Endpoint:
-    def __init__(self):
-        self.packets = []
-
-    def on_packet(self, packet):
-        self.packets.append(packet)
+from .helpers import CaptureEndpoint as Endpoint, intern
 
 
 def wire(sim):
@@ -34,16 +28,16 @@ class TestSwitch:
     def test_forwards_by_destination(self):
         sim = Simulator()
         switch, a, b = wire(sim)
-        ep = Endpoint()
+        ep = Endpoint(sim)
         b.register_flow(1, ep)
-        a.send(make_data_packet(1, a.node_id, b.node_id, seq=0, payload_len=100))
+        a.send(intern(sim, make_data_packet(1, a.node_id, b.node_id, seq=0, payload_len=100)))
         sim.run_until_idle()
         assert len(ep.packets) == 1
 
     def test_unroutable_counted_and_dropped(self):
         sim = Simulator()
         switch, a, b = wire(sim)
-        a.send(make_data_packet(1, a.node_id, 99_999, seq=0, payload_len=100))
+        a.send(intern(sim, make_data_packet(1, a.node_id, 99_999, seq=0, payload_len=100)))
         sim.run_until_idle()
         assert switch.unroutable_drops == 1
 
@@ -72,26 +66,26 @@ class TestHost:
     def test_demux_by_flow_id(self):
         sim = Simulator()
         switch, a, b = wire(sim)
-        ep1, ep2 = Endpoint(), Endpoint()
+        ep1, ep2 = Endpoint(sim), Endpoint(sim)
         b.register_flow(1, ep1)
         b.register_flow(2, ep2)
-        a.send(make_data_packet(2, a.node_id, b.node_id, seq=0, payload_len=10))
+        a.send(intern(sim, make_data_packet(2, a.node_id, b.node_id, seq=0, payload_len=10)))
         sim.run_until_idle()
         assert not ep1.packets and len(ep2.packets) == 1
 
     def test_duplicate_registration_rejected(self):
         sim = Simulator()
         host = Host(sim, "h")
-        host.register_flow(1, Endpoint())
+        host.register_flow(1, Endpoint(sim))
         with pytest.raises(ValueError):
-            host.register_flow(1, Endpoint())
+            host.register_flow(1, Endpoint(sim))
 
     def test_unregister_allows_reuse(self):
         sim = Simulator()
         host = Host(sim, "h")
-        host.register_flow(1, Endpoint())
+        host.register_flow(1, Endpoint(sim))
         host.unregister_flow(1)
-        host.register_flow(1, Endpoint())  # no error
+        host.register_flow(1, Endpoint(sim))  # no error
 
     def test_unregister_missing_is_noop(self):
         Host(Simulator(), "h").unregister_flow(42)
@@ -99,13 +93,15 @@ class TestHost:
     def test_undeliverable_counted(self):
         sim = Simulator()
         switch, a, b = wire(sim)
-        a.send(make_data_packet(7, a.node_id, b.node_id, seq=0, payload_len=10))
+        a.send(intern(sim, make_data_packet(7, a.node_id, b.node_id, seq=0, payload_len=10)))
         sim.run_until_idle()
         assert b.undeliverable_packets == 1
 
     def test_send_without_link_raises(self):
+        sim = Simulator()
+        host = Host(sim, "h")
         with pytest.raises(RuntimeError):
-            Host(Simulator(), "h").send(Packet(1, 0, 1, wire_bytes=64))
+            host.send(intern(sim, Packet(1, 0, 1, wire_bytes=64)))
 
     def test_node_ids_unique(self):
         sim = Simulator()

@@ -172,9 +172,15 @@ def test_profiler_attributes_dispatch_time():
     assert profiler.wall_s > 0
     assert profiler.events_per_sec > 0
     kinds = dict(zip(profiler.schema(), next(iter(profiler.rows()))))
-    assert set(profiler.schema()) == {"kind", "events", "total_s", "mean_us", "share"}
+    assert set(profiler.schema()) == {
+        "kind", "events", "total_s", "mean_us", "share", "mean_batch",
+    }
     assert kinds["events"] > 0
+    assert kinds["mean_batch"] >= 1.0
+    assert profiler.batches > 0
+    assert profiler.mean_batch_size >= 1.0
     assert "events/s" in profiler.report()
+    assert "batches" in profiler.report()
 
 
 def test_profiled_run_matches_plain_run():

@@ -6,13 +6,7 @@ from repro.net.packet import make_data_packet
 from repro.net.topology import TopologyParams, build_dumbbell, build_two_tier
 from repro.sim.engine import Simulator
 
-
-class Endpoint:
-    def __init__(self):
-        self.packets = []
-
-    def on_packet(self, packet):
-        self.packets.append(packet)
+from .helpers import CaptureEndpoint as Endpoint, intern
 
 
 class TestStructure:
@@ -55,10 +49,10 @@ class TestPaperQuantities:
 
 class TestReachability:
     def _deliver(self, sim, tree, src, dst):
-        ep = Endpoint()
+        ep = Endpoint(sim)
         flow = 999_000 + src.node_id * 1000 + dst.node_id
         dst.register_flow(flow, ep)
-        src.send(make_data_packet(flow, src.node_id, dst.node_id, seq=0, payload_len=10))
+        src.send(intern(sim, make_data_packet(flow, src.node_id, dst.node_id, seq=0, payload_len=10)))
         sim.run_until_idle()
         dst.unregister_flow(flow)
         return len(ep.packets)
@@ -107,11 +101,14 @@ class TestDumbbell:
         sim = Simulator()
         tree = build_dumbbell(sim, n_senders=3)
         assert len(tree.servers) == 3
-        ep = Endpoint()
+        ep = Endpoint(sim)
         tree.aggregator.register_flow(5, ep)
         tree.servers[2].send(
-            make_data_packet(
-                5, tree.servers[2].node_id, tree.aggregator.node_id, seq=0, payload_len=10
+            intern(
+                sim,
+                make_data_packet(
+                    5, tree.servers[2].node_id, tree.aggregator.node_id, seq=0, payload_len=10
+                ),
             )
         )
         sim.run_until_idle()

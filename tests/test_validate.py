@@ -17,6 +17,8 @@ from repro.tcp.sender import TcpSender
 from repro.validate import InvariantChecker, InvariantViolation
 from repro.workloads.ids import next_flow_id
 
+from .helpers import intern
+
 MSS = 1460
 
 
@@ -179,7 +181,7 @@ class TestSharedPoolUnderValidation:
         pa = switch.add_port(Link(a))
         switch.add_route(a.node_id, pa)
         for i in range(20):
-            pa.send(make_data_packet(1, b.node_id, a.node_id, seq=i * MSS, payload_len=MSS))
+            pa.send(intern(sim, make_data_packet(1, b.node_id, a.node_id, seq=i * MSS, payload_len=MSS)))
         assert switch.pool_occupancy_bytes > 0
         sim.run_until_idle()
         assert switch.pool_occupancy_bytes == 0
