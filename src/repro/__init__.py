@@ -11,6 +11,9 @@ The package layers:
 - :mod:`repro.metrics`   — flow stats, queue sampling, histograms, tables
 - :mod:`repro.exec`  — declarative scenario specs, serial/parallel executors,
   on-disk result cache
+- :mod:`repro.sweep` — million-point sweep service: declarative grid/random
+  sweeps, content-addressed SQLite result store, resumable sharded
+  orchestration (``python -m repro sweep``)
 - :mod:`repro.telemetry` — typed event tracing, collectors, exporters,
   engine profiling (``python -m repro trace``)
 - :mod:`repro.experiments` — one driver per paper table/figure
@@ -66,6 +69,7 @@ from .net import (
     build_two_tier,
 )
 from .sim import Simulator
+from .sweep import SweepProgress, SweepSpec, SweepStore, run_sweep
 from .tcp import DctcpSender, TcpConfig, TcpReceiver, TcpSender, TimeoutKind
 from .tcp.cc import CongestionControl, cc_labels, cc_names, get_cc, register
 from .telemetry import (
@@ -134,6 +138,10 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "ResultCache",
+    "SweepSpec",
+    "SweepStore",
+    "SweepProgress",
+    "run_sweep",
     "Tracer",
     "TraceRecord",
     "Collector",

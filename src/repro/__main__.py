@@ -33,13 +33,14 @@ from typing import List, Optional, Sequence
 
 USAGE = """\
 usage: python -m repro [--workers N] [--cache-dir PATH] [--validate] [--seed N]
-                       {experiments,bench,fuzz,trace} [args...]
+                       {experiments,bench,fuzz,trace,sweep} [args...]
 
 commands:
   experiments   run paper experiments (figures and tables)
   bench         engine throughput benchmark and CI gate
   fuzz          seeded scenario fuzzer under full invariant checking
   trace         run one scenario with telemetry and print the trace report
+  sweep         million-point sweep service: run/status/merge/import/export
 
 shared flags (before the command):
   --workers N       parallel scenario workers (sets REPRO_WORKERS)
@@ -52,7 +53,7 @@ shared flags (before the command):
 run 'python -m repro <command> --help' for command-specific options.
 """
 
-COMMANDS = ("experiments", "bench", "fuzz", "trace")
+COMMANDS = ("experiments", "bench", "fuzz", "trace", "sweep")
 
 #: Commands whose own CLI accepts ``--seed N`` for the umbrella flag to
 #: forward to.  ``experiments`` deliberately isn't here: it takes a seed
@@ -133,6 +134,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     elif command == "fuzz":
         from .validate.fuzz import main as run
+
+    elif command == "sweep":
+        from .sweep.cli import main as run
 
     else:
         from .telemetry.cli import main as run

@@ -31,6 +31,7 @@ class ResultCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.write_errors = 0
 
     def path_for(self, spec: ScenarioSpec) -> Path:
         return self.directory / f"{spec.cache_key()}.json"
@@ -67,7 +68,11 @@ class ResultCache:
                 json.dump(entry, fh)
             os.replace(tmp, path)
         except OSError:
-            # A full/read-only disk degrades to "no cache", not a crash.
+            # A full/read-only disk degrades to "no cache", not a crash —
+            # but it is *counted*, and the executors surface the counter on
+            # their stderr progress line, so cold reruns caused by failed
+            # writes don't masquerade as an inexplicable 0% hit rate.
+            self.write_errors += 1
             try:
                 os.unlink(tmp)
             except (OSError, UnboundLocalError):

@@ -36,6 +36,11 @@ class ProgressEvent:
     spec: ScenarioSpec
     result: PointResult
     cached: bool
+    #: Cumulative failed cache writes on the executor's cache so far (0
+    #: with no cache attached).  Progress renderers print it when nonzero
+    #: so a full disk is visible instead of silently degrading to cold
+    #: reruns.
+    cache_write_errors: int = 0
 
 
 class Executor:
@@ -50,6 +55,9 @@ class Executor:
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressCallback] = None,
     ):
+        #: Anything speaking the cache protocol (``get``/``put`` plus the
+        #: ``hits``/``misses``/``write_errors`` counters): the JSON
+        #: :class:`ResultCache` or a :class:`repro.sweep.SweepStore`.
         self.cache = cache
         self.progress = progress
 
@@ -104,6 +112,7 @@ class Executor:
                     spec=spec,
                     result=result,
                     cached=cached,
+                    cache_write_errors=getattr(self.cache, "write_errors", 0),
                 )
             )
 

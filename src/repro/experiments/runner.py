@@ -140,9 +140,14 @@ def _print_progress(event: ProgressEvent) -> None:
         if event.cached
         else f"{event.result.wall_time_s:.1f}s {event.result.events_processed / 1e6:.1f}M events"
     )
+    # A failing cache (full disk, read-only dir) must be visible, not a
+    # mystery 0% hit rate on the next run.
+    errors = (
+        f" !cache-write-errors={event.cache_write_errors}" if event.cache_write_errors else ""
+    )
     print(
         f"[{event.done}/{event.total}] {event.spec.label()}: "
-        f"{event.result.goodput_mbps:.1f} Mbps ({status})",
+        f"{event.result.goodput_mbps:.1f} Mbps ({status}){errors}",
         file=sys.stderr,
     )
 

@@ -1,0 +1,216 @@
+"""The sweep orchestrator: resumable, incremental, sharded execution.
+
+:func:`run_sweep` turns a :class:`~repro.sweep.spec.SweepSpec` plus a
+:class:`~repro.sweep.store.SweepStore` into finished points:
+
+1. expand the spec to its deterministic point list;
+2. drop points owned by other shards (``shard=(i, n)`` partitions by
+   content-key hash — see :func:`~repro.sweep.spec.shard_points`);
+3. drop points the store already holds (**resume**: a killed run left its
+   finished points committed, so a fresh process continues mid-flight
+   from the store alone);
+4. run the rest in bounded chunks through a normal executor with the
+   store in its cache slot, so results commit as they finish and memory
+   stays flat at million-point scale.
+
+Progress is a :class:`~repro.telemetry.Collector`:
+:class:`SweepProgress` subscribes to the executor's progress callback,
+keeps tabular rows (exportable through the standard telemetry CSV/JSONL
+surface), and renders a stderr line with an ETA derived from the mean
+simulated wall time of completed points — no wall-clock reads, so the
+no-wallclock lint holds for the whole sweep layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..exec.executors import Executor, ProgressEvent
+from ..exec.scenario import ScenarioSpec
+from ..telemetry.collector import Collector
+from .spec import SweepSpec, shard_points
+from .store import SweepStore
+
+#: Points handed to the executor per batch.  Small enough that results
+#: (and their trace payloads) never pile up in memory, large enough to
+#: keep a process pool saturated.
+DEFAULT_CHUNK = 256
+
+
+class SweepProgress(Collector):
+    """Telemetry collector over sweep progress, with a stderr ETA line.
+
+    One row per completed point, in completion order.  ``eta_s`` is an
+    estimate of the *remaining compute* — mean wall seconds per freshly
+    computed point times points left, divided by the worker count — and
+    is ``-1`` until the first fresh point lands (cache hits carry no
+    timing signal for this run's hardware).
+    """
+
+    def __init__(self, total: int, workers: int = 1, stream=None, every: int = 1):
+        self.total = total
+        self.workers = max(1, workers)
+        self.stream = stream
+        self.every = max(1, every)
+        self.done = 0
+        self.cached = 0
+        self.fresh_wall_s = 0.0
+        self._rows: List[Tuple[object, ...]] = []
+
+    # -- Collector protocol -----------------------------------------------------
+    def schema(self) -> Tuple[str, ...]:
+        return ("done", "total", "key", "label", "goodput_mbps", "cached", "wall_s", "eta_s")
+
+    def rows(self) -> List[Tuple[object, ...]]:
+        return self._rows
+
+    # -- executor progress callback ---------------------------------------------
+    def eta_s(self) -> float:
+        fresh = self.done - self.cached
+        if fresh <= 0:
+            return -1.0
+        per_point = self.fresh_wall_s / fresh
+        return per_point * (self.total - self.done) / self.workers
+
+    def __call__(self, event: ProgressEvent) -> None:
+        self.done += 1
+        if event.cached:
+            self.cached += 1
+        else:
+            self.fresh_wall_s += event.result.wall_time_s
+        eta = self.eta_s()
+        self._rows.append(
+            (
+                self.done,
+                self.total,
+                event.spec.cache_key(),
+                event.spec.label(),
+                event.result.goodput_mbps,
+                event.cached,
+                event.result.wall_time_s,
+                eta,
+            )
+        )
+        if self.stream is not None and (
+            self.done % self.every == 0 or self.done == self.total
+        ):
+            status = "cached" if event.cached else f"{event.result.wall_time_s:.2f}s"
+            eta_text = f" eta {_format_eta(eta)}" if eta >= 0 else ""
+            errors = (
+                f" !cache-write-errors={event.cache_write_errors}"
+                if event.cache_write_errors
+                else ""
+            )
+            print(
+                f"[sweep {self.done}/{self.total}] {event.spec.label()}: "
+                f"{event.result.goodput_mbps:.1f} Mbps ({status}){eta_text}{errors}",
+                file=self.stream,
+            )
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """What one :func:`run_sweep` invocation did."""
+
+    sweep: str
+    digest: str
+    total_points: int
+    shard_points: int
+    already_stored: int
+    computed: int
+    cache_hits: int
+    write_errors: int
+    store_points: int
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def plan_sweep(
+    spec: SweepSpec,
+    store: SweepStore,
+    shard: Optional[Tuple[int, int]] = None,
+) -> Tuple[List[ScenarioSpec], List[ScenarioSpec]]:
+    """Expand + shard + diff against the store; (shard_points, missing)."""
+    owned = shard_points(spec.points(), shard)
+    return owned, store.missing(owned)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    store: SweepStore,
+    executor: Executor,
+    shard: Optional[Tuple[int, int]] = None,
+    progress: Optional[SweepProgress] = None,
+    chunk: int = DEFAULT_CHUNK,
+    limit: Optional[int] = None,
+) -> SweepReport:
+    """Run every missing point of ``spec``'s shard into ``store``.
+
+    The executor's cache slot is pointed at the store for the duration,
+    so finished points commit as they complete and a second concurrent
+    get()-before-run stays cheap.  ``limit`` bounds how many missing
+    points this invocation computes (the CI kill/resume smoke uses it to
+    stop a run "mid-flight" deterministically).
+    """
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    owned, missing = plan_sweep(spec, store, shard)
+    already = len(owned) - len(missing)
+    if limit is not None:
+        missing = missing[:limit]
+    if progress is not None:
+        progress.total = len(missing)
+    previous_cache = executor.cache
+    hits_before = store.hits
+    errors_before = store.write_errors
+    executor.cache = store
+    executor.progress = progress if progress is not None else executor.progress
+    try:
+        for start in range(0, len(missing), chunk):
+            executor.map(missing[start : start + chunk])
+    finally:
+        executor.cache = previous_cache
+    return SweepReport(
+        sweep=spec.name,
+        digest=spec.digest(),
+        total_points=spec.point_count(),
+        shard_points=len(owned),
+        already_stored=already,
+        computed=len(missing) - (store.hits - hits_before),
+        cache_hits=store.hits - hits_before,
+        write_errors=store.write_errors - errors_before,
+        store_points=len(store),
+    )
+
+
+def sweep_status(
+    spec: Optional[SweepSpec],
+    store: SweepStore,
+    shard: Optional[Tuple[int, int]] = None,
+) -> dict:
+    """Completion stats: stored points, and coverage vs a spec if given."""
+    status: dict = {
+        "store_points": len(store),
+        "content_digest": store.content_digest(),
+    }
+    if spec is not None:
+        owned, missing = plan_sweep(spec, store, shard)
+        status.update(
+            sweep=spec.name,
+            digest=spec.digest(),
+            total_points=spec.point_count(),
+            shard_points=len(owned),
+            done=len(owned) - len(missing),
+            missing=len(missing),
+        )
+    return status

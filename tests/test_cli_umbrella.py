@@ -28,7 +28,7 @@ def _run_module(module, *args):
 def test_help_lists_every_command(capsys):
     assert umbrella_main(["--help"]) == 0
     out = capsys.readouterr().out
-    for command in ("experiments", "bench", "fuzz", "trace"):
+    for command in ("experiments", "bench", "fuzz", "trace", "sweep"):
         assert command in out
 
 

@@ -176,6 +176,24 @@ class TestResultCache:
             assert cache.get(spec) is None
             assert (cache.hits, cache.misses) == (0, 1)
 
+    def test_failed_writes_are_counted_and_surfaced(self, tmp_path):
+        # "Best effort" must not mean silent: an unwritable cache
+        # directory (stand-in for a full disk) counts every failed put,
+        # and the executor's progress events carry the counter so the
+        # stderr progress line can show it.
+        spec = TINY_BATCH[0]
+        cache = ResultCache(tmp_path / "cache")
+        cache.directory = tmp_path / "vanished"  # writes now fail with ENOENT
+        events = []
+        SerialExecutor(cache=cache, progress=events.append).map([spec])
+        assert cache.write_errors == 1
+        assert events[-1].cache_write_errors == 1
+
+    def test_progress_reports_zero_write_errors_without_a_cache(self):
+        events = []
+        SerialExecutor(progress=events.append).map([TINY_BATCH[0]])
+        assert events[-1].cache_write_errors == 0
+
     def test_entry_with_mismatched_spec_is_a_miss(self, tmp_path):
         spec = TINY_BATCH[0]
         cache = ResultCache(tmp_path)

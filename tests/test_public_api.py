@@ -68,6 +68,11 @@ EXPECTED_SURFACE = {
     "SerialExecutor",
     "ParallelExecutor",
     "ResultCache",
+    # sweep service
+    "SweepSpec",
+    "SweepStore",
+    "SweepProgress",
+    "run_sweep",
     # namespaces / meta
     "config",
     "__version__",
