@@ -59,14 +59,22 @@ from .core import (
 )
 from .metrics import CwndTracker, FlowStats, FlowTracer, QueueSampler
 from .net import (
+    DumbbellNetwork,
+    FatTreeNetwork,
     Host,
     Link,
     Packet,
     Switch,
     TopologyParams,
     TwoTierTree,
+    WiringError,
     build_dumbbell,
+    build_fat_tree,
+    build_star,
     build_two_tier,
+    check_wiring,
+    topology_builder,
+    topology_names,
 )
 from .sim import Simulator
 from .sweep import SweepProgress, SweepSpec, SweepStore, run_sweep
@@ -84,15 +92,20 @@ from .workloads import (
     BackgroundTraffic,
     BenchmarkConfig,
     BenchmarkWorkload,
+    ClosedLoopWorkload,
+    HttpConfig,
+    HttpWorkload,
     IncastConfig,
     IncastWorkload,
     ProtocolSpec,
+    SwarmConfig,
+    SwarmWorkload,
     spec_for,
 )
 from . import config
 from .experiments.common import run_incast_batch
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Simulator",
@@ -102,8 +115,16 @@ __all__ = [
     "Switch",
     "TopologyParams",
     "TwoTierTree",
+    "DumbbellNetwork",
+    "FatTreeNetwork",
     "build_two_tier",
     "build_dumbbell",
+    "build_star",
+    "build_fat_tree",
+    "check_wiring",
+    "WiringError",
+    "topology_builder",
+    "topology_names",
     "TcpConfig",
     "TcpSender",
     "TcpReceiver",
@@ -121,6 +142,11 @@ __all__ = [
     "SlowTimeStateMachine",
     "IncastConfig",
     "IncastWorkload",
+    "ClosedLoopWorkload",
+    "HttpConfig",
+    "HttpWorkload",
+    "SwarmConfig",
+    "SwarmWorkload",
     "BackgroundConfig",
     "BackgroundTraffic",
     "BenchmarkConfig",

@@ -25,18 +25,30 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from ..metrics.flowstats import FlowStats
 from ..metrics.queue_sampler import QueueSampler
 from ..net.faults import drop_nth, make_lossy, random_loss
-from ..net.topology import TopologyParams, TwoTierTree, build_two_tier
+from ..net.topology import (
+    TopologyParams,
+    TwoTierTree,
+    check_wiring,
+    topology_builder,
+)
 from ..sim.engine import Simulator
 from ..tcp.timeouts import TimeoutKind
 from ..telemetry.tracer import Tracer, TraceRecord
 from ..workloads.background import BackgroundTraffic
+from ..workloads.http import HttpConfig, HttpWorkload
 from ..workloads.incast import IncastConfig, IncastWorkload
 from ..workloads.protocols import ProtocolSpec, spec_for
+from ..workloads.swarm import SwarmConfig, SwarmWorkload
 
 #: Bumped whenever the on-disk result encoding changes shape; part of the
 #: cache key so stale entries from older encodings never decode.
 #: v3: ScenarioSpec.cc dimension + PointResult.round_durations_ns.
-SCHEMA_VERSION = 3
+#: v4: ScenarioSpec.topology / workload / workload_overrides dimensions.
+SCHEMA_VERSION = 4
+
+#: Spec-level workload names (see :func:`_make_workload`): the incast
+#: barrier benchmark, the HTTP closed loop, and the many-to-many swarm.
+WORKLOAD_NAMES = ("incast", "http", "swarm")
 
 Overrides = Tuple[Tuple[str, object], ...]
 
@@ -77,6 +89,15 @@ class ScenarioSpec:
     #: point's reporting label.  Part of to_dict(), so it joins the cache
     #: key and the fuzzer's differential digests.
     cc: str = ""
+    #: Network shape (a :data:`repro.net.topology.TOPOLOGIES` name).
+    topology: str = "two-tier"
+    #: Application shape (a :data:`WORKLOAD_NAMES` entry).  ``n_flows`` maps
+    #: onto the workload's fan-out (flows / clients / peers) and ``rounds``
+    #: onto its repetition count (rounds / requests / pieces).
+    workload: str = "incast"
+    #: Overrides for the non-incast workload configs (``incast_overrides``
+    #: keeps serving the incast workload, unchanged).
+    workload_overrides: Overrides = ()
 
     @classmethod
     def create(
@@ -97,6 +118,9 @@ class ScenarioSpec:
         trace: bool = False,
         max_events: int = 400_000_000,
         cc: str = "",
+        topology: str = "two-tier",
+        workload: str = "incast",
+        workload_overrides: Optional[Mapping[str, object]] = None,
     ) -> "ScenarioSpec":
         """Build a spec from the kwargs the figure drivers historically used.
 
@@ -125,6 +149,9 @@ class ScenarioSpec:
             trace=trace,
             max_events=max_events,
             cc=cc,
+            topology=topology,
+            workload=workload,
+            workload_overrides=_freeze(workload_overrides),
         )
 
     @property
@@ -179,7 +206,10 @@ class ScenarioSpec:
     def label(self) -> str:
         """Short human-readable tag for progress lines."""
         name = self.protocol if not self.cc else f"{self.protocol}[cc={self.cc}]"
-        return f"{name} N={self.n_flows} seed={self.seed}"
+        extra = ""
+        if self.topology != "two-tier" or self.workload != "incast":
+            extra = f" {self.topology}/{self.workload}"
+        return f"{name}{extra} N={self.n_flows} seed={self.seed}"
 
 
 @dataclass
@@ -359,6 +389,28 @@ def _apply_faults(sim: Simulator, tree: TwoTierTree, fault_overrides: Overrides)
     port.link = make_lossy(port.link, policy)
 
 
+def _make_workload(spec: ScenarioSpec, sim: Simulator, tree, protocol_spec: ProtocolSpec):
+    """Instantiate the spec's workload over a built network.
+
+    ``n_flows``/``rounds`` keep their historical meaning for incast and map
+    onto the closed-loop workloads' fan-out/repetition knobs, so sweep
+    grids and the arena vary all three workloads through one axis pair.
+    """
+    if spec.workload == "incast":
+        return IncastWorkload(sim, tree, protocol_spec, spec.incast_config())
+    if spec.workload == "http":
+        kwargs: Dict[str, object] = dict(n_clients=spec.n_flows, n_requests=spec.rounds)
+        kwargs.update(dict(spec.workload_overrides))
+        return HttpWorkload(sim, tree, protocol_spec, HttpConfig(**kwargs))
+    if spec.workload == "swarm":
+        kwargs = dict(n_peers=spec.n_flows, n_pieces=spec.rounds)
+        kwargs.update(dict(spec.workload_overrides))
+        return SwarmWorkload(sim, tree, protocol_spec, SwarmConfig(**kwargs))
+    raise ValueError(
+        f"unknown workload {spec.workload!r}; choose from {list(WORKLOAD_NAMES)}"
+    )
+
+
 def run_scenario(
     spec: ScenarioSpec, validate: Optional[bool] = None, profiler=None
 ) -> PointResult:
@@ -382,7 +434,11 @@ def run_scenario(
     tracer = Tracer() if spec.trace else None
     sim = Simulator(seed=spec.seed, validate=validate, tracer=tracer, profiler=profiler)
     events_before = sim.events_processed
-    tree = build_two_tier(sim, spec.topology_params())
+    tree = topology_builder(spec.topology)(sim, spec.topology_params())
+    if sim.checker is not None:
+        # Structural invariants piggyback on validate mode: check_wiring is
+        # purely passive, so validated results stay identical to plain runs.
+        check_wiring(tree)
     if spec.fault_overrides:
         _apply_faults(sim, tree, spec.fault_overrides)
     protocol_spec = spec.protocol_spec()
@@ -400,7 +456,7 @@ def run_scenario(
         sampler = QueueSampler(sim, tree.bottleneck_port)
         sampler.start()
 
-    workload = IncastWorkload(sim, tree, protocol_spec, spec.incast_config())
+    workload = _make_workload(spec, sim, tree, protocol_spec)
     workload.run_to_completion(max_events=spec.max_events)
     if sim.checker is not None:
         sim.checker.verify_all()

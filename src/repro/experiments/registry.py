@@ -20,6 +20,7 @@ from . import (
     fig13_benchmark,
     fig14_initial_rounds,
     table1_timeout_taxonomy,
+    topo_matrix,
 )
 from .common import ExperimentResult
 
@@ -36,6 +37,7 @@ _MODULES = {
     "fig13": fig13_benchmark,
     "fig14": fig14_initial_rounds,
     "arena": arena,
+    "topo-matrix": topo_matrix,
 }
 
 

@@ -9,7 +9,21 @@ from .port import OutputPort
 from .queues import DEFAULT_BUFFER_BYTES, DEFAULT_ECN_THRESHOLD, DropTailQueue
 from .shared_buffer import SharedBufferSwitch
 from .switch import Switch
-from .topology import TopologyParams, TwoTierTree, build_dumbbell, build_two_tier
+from .topology import (
+    TOPOLOGIES,
+    DumbbellNetwork,
+    FatTreeNetwork,
+    TopologyParams,
+    TwoTierTree,
+    WiringError,
+    build_dumbbell,
+    build_fat_tree,
+    build_star,
+    build_two_tier,
+    check_wiring,
+    topology_builder,
+    topology_names,
+)
 
 __all__ = [
     "Host",
@@ -34,6 +48,15 @@ __all__ = [
     "make_lossy",
     "TopologyParams",
     "TwoTierTree",
+    "DumbbellNetwork",
+    "FatTreeNetwork",
+    "WiringError",
     "build_dumbbell",
+    "build_fat_tree",
+    "build_star",
     "build_two_tier",
+    "check_wiring",
+    "topology_builder",
+    "topology_names",
+    "TOPOLOGIES",
 ]

@@ -19,7 +19,7 @@ ECN marking is unchanged: instantaneous per-port queue vs threshold K.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sim.engine import Simulator
 from .link import Link
@@ -27,6 +27,21 @@ from .node import Node
 from .pool import PacketPool
 from .port import OutputPort
 from .queues import DEFAULT_ECN_THRESHOLD, DropTailQueue
+from .switch import make_ecmp_forward
+
+
+class _EcmpRoute:
+    """Route-table entry that fans one destination over an ECMP group.
+
+    ``receive`` only ever calls ``.send(h)`` on whatever the route table
+    holds, so an object exposing the selector closure as ``send`` slots
+    into ``_routes`` without touching the forwarding path.
+    """
+
+    __slots__ = ("send",)
+
+    def __init__(self, send):
+        self.send = send
 
 
 class _PooledQueue(DropTailQueue):
@@ -76,6 +91,8 @@ class SharedBufferSwitch(Node):
         "pool_drops",
         "unroutable_drops",
         "_pool_occupancy",
+        "_ecmp",
+        "_flow_ord",
     )
 
     def __init__(
@@ -103,6 +120,8 @@ class SharedBufferSwitch(Node):
         # is O(1) instead of summing every port; the validate layer
         # cross-checks it against the per-port sum.
         self._pool_occupancy = 0
+        self._ecmp: Dict[int, Tuple[OutputPort, ...]] = {}
+        self._flow_ord: Dict[int, int] = {}
         hooks = sim.hooks
         if hooks is not None:
             hooks.switch_created(self)
@@ -127,9 +146,39 @@ class SharedBufferSwitch(Node):
         if port not in self.ports:
             raise ValueError(f"port {port.name!r} does not belong to switch {self.name!r}")
         self._routes[dst_node_id] = port
+        self._ecmp.pop(dst_node_id, None)
+
+    def add_ecmp_group(
+        self,
+        dst_node_id: int,
+        ports: Sequence[OutputPort],
+        salt: int,
+        per_packet: bool = False,
+    ) -> None:
+        """Install an equal-cost multipath entry (see :meth:`Switch.add_ecmp_group`)."""
+        ports = tuple(ports)
+        if not ports:
+            raise ValueError("an ECMP group needs at least one port")
+        for port in ports:
+            if port not in self.ports:
+                raise ValueError(
+                    f"port {port.name!r} does not belong to switch {self.name!r}"
+                )
+        if len(ports) == 1:
+            self.add_route(dst_node_id, ports[0])
+            return
+        self._ecmp[dst_node_id] = ports
+        self._routes[dst_node_id] = _EcmpRoute(
+            make_ecmp_forward(self.pool, self._flow_ord, ports, salt, per_packet)
+        )
 
     def route_for(self, dst_node_id: int):
-        return self._routes.get(dst_node_id)
+        port = self._routes.get(dst_node_id)
+        return None if isinstance(port, _EcmpRoute) else port
+
+    def ecmp_candidates(self, dst_node_id: int) -> Optional[Tuple[OutputPort, ...]]:
+        """The equal-cost candidate set for a destination (None otherwise)."""
+        return self._ecmp.get(dst_node_id)
 
     def receive(self, h: int) -> None:
         port = self._routes.get(self._dst_col[h])

@@ -45,6 +45,8 @@ SWEEP_SCHEMA_VERSION = 1
 AXES: Tuple[str, ...] = (
     "protocol",
     "cc",
+    "topology",
+    "workload",
     "n_flows",
     "rto_min_ms",
     "min_cwnd_mss",
@@ -55,6 +57,9 @@ AXES: Tuple[str, ...] = (
 
 #: Axes whose values must be integers (floats are rejected, not truncated).
 _INT_AXES = frozenset({"n_flows", "ecn_threshold_bytes", "buffer_bytes", "seed"})
+
+#: Axes whose values are names rather than numbers.
+_STR_AXES = frozenset({"protocol", "cc", "topology", "workload"})
 
 AxisValues = Union[Sequence[object], Mapping[str, object]]
 
@@ -87,7 +92,7 @@ def _check_values(axis: str, values: Sequence[object]) -> None:
     if not values:
         raise SweepSpecError(f"axis {axis!r}: empty value list")
     for v in values:
-        if axis in ("protocol", "cc"):
+        if axis in _STR_AXES:
             if not isinstance(v, str):
                 raise SweepSpecError(f"axis {axis!r}: expected strings, got {v!r}")
         elif isinstance(v, bool) or not isinstance(v, (int, float)):
@@ -218,6 +223,8 @@ class SweepSpec:
             min_cwnd_mss=assignment.get("min_cwnd_mss"),
             topo=topo or None,
             cc=str(assignment.get("cc", "")),
+            topology=str(assignment.get("topology", "two-tier")),
+            workload=str(assignment.get("workload", "incast")),
         )
 
     def points(self) -> List[ScenarioSpec]:

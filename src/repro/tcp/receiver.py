@@ -47,6 +47,7 @@ class TcpReceiver:
         "data_packets_received",
         "duplicate_packets_received",
         "ce_packets_received",
+        "reordered_packets",
         "closed",
     )
 
@@ -86,6 +87,10 @@ class TcpReceiver:
         self.data_packets_received = 0
         self.duplicate_packets_received = 0
         self.ce_packets_received = 0
+        # New data that arrived ahead of a gap (could not advance rcv_nxt):
+        # the receiver-visible signature of multipath reordering — packet-
+        # level ECMP spray lands here even with zero loss.
+        self.reordered_packets = 0
         self.closed = False
         host.register_flow(flow_id, self)
         hooks = sim.hooks
@@ -132,6 +137,8 @@ class TcpReceiver:
         # (RFC 5681); in-order segments go through the ACK policy, which
         # subclasses may delay.
         out_of_order = rcv_col[slot] == rcv_before
+        if out_of_order and end_seq > rcv_before:
+            self.reordered_packets += 1
 
         self._ack_policy(flags, out_of_order, rcv_before)
 

@@ -41,6 +41,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..exec.executors import ParallelExecutor
 from ..exec.scenario import PointResult, ScenarioSpec, run_scenario
+from ..net.topology import WiringError
 from ..sim.units import KB, MB, SEC
 from .checker import InvariantViolation
 
@@ -55,6 +56,14 @@ class FuzzFailure(AssertionError):
     """A differential check failed (results not deterministic/equal)."""
 
 
+#: Topology kinds the fuzzer samples (two-tier twice: it remains the
+#: paper's shape and carries the most protocol surface).
+FUZZ_TOPOLOGIES = ("two-tier", "two-tier", "dumbbell", "fat-tree")
+
+#: Workload kinds the fuzzer samples (incast twice, same reasoning).
+FUZZ_WORKLOADS = ("incast", "incast", "http", "swarm")
+
+
 # -- spec drawing ---------------------------------------------------------------
 def draw_spec(seed: int) -> ScenarioSpec:
     """Deterministically draw one random scenario for a fuzz seed."""
@@ -65,6 +74,8 @@ def draw_spec(seed: int) -> ScenarioSpec:
     # the cc-resolution path (and its cache-key contribution) too.
     cc = rng.choice(FUZZ_PROTOCOLS) if rng.random() < 0.2 else ""
     effective = cc or protocol
+    topology = rng.choice(FUZZ_TOPOLOGIES)
+    workload = rng.choice(FUZZ_WORKLOADS)
 
     topo: Dict[str, object] = {
         "link_rate_bps": rng.choice([10 ** 9, 10 ** 10]),
@@ -74,6 +85,19 @@ def draw_spec(seed: int) -> ScenarioSpec:
         "n_servers": rng.randint(3, 9),
         "n_leaf_switches": rng.randint(1, 3),
     }
+    if topology == "dumbbell":
+        topo["n_pairs"] = rng.randint(2, 6)
+        if rng.random() < 0.5:
+            topo["leg_delays_ns"] = tuple(
+                rng.choice([5_000, 12_000, 25_000, 50_000])
+                for _ in range(topo["n_pairs"])
+            )
+    elif topology == "fat-tree":
+        topo["fat_tree_k"] = 4
+        topo["hosts_per_edge"] = rng.randint(1, 2)
+        # Packet spray feeds the receiver's reorder buffer + reordering
+        # counter into the differentials; flow mode keeps paths pinned.
+        topo["ecmp_mode"] = rng.choice(["flow", "flow", "packet"])
     if rng.random() < 0.3:
         topo["shared_pool_bytes"] = rng.choice([256 * KB, 512 * KB])
 
@@ -87,6 +111,21 @@ def draw_spec(seed: int) -> ScenarioSpec:
     }
     if "d2tcp" in effective and rng.random() < 0.5:
         incast["flow_deadline_ns"] = rng.choice([5_000_000, 20_000_000])
+
+    workload_overrides: Optional[Dict[str, object]] = None
+    if workload == "http":
+        workload_overrides = {
+            "response_size": rng.choice([16 * KB, 64 * KB, "short-message"]),
+            "think_mode": rng.choice(["none", "fixed", "cdf"]),
+            "think_scale": 0.01,
+            "think_ns": 200_000,
+            "request_deadline_ns": 2 * SEC,
+        }
+    elif workload == "swarm":
+        workload_overrides = {
+            "piece_bytes": rng.choice([32 * KB, 128 * KB]),
+            "fetch_deadline_ns": 2 * SEC,
+        }
 
     plus: Dict[str, object] = {}
     if effective.endswith("+") or effective == "dctcp+norand":
@@ -115,6 +154,9 @@ def draw_spec(seed: int) -> ScenarioSpec:
         # (the tracer schedules no events and draws no randomness).
         trace=rng.random() < 0.25,
         cc=cc,
+        topology=topology,
+        workload=workload,
+        workload_overrides=workload_overrides,
     )
 
 
@@ -188,10 +230,49 @@ def _mutate_phantom_mark() -> Iterator[None]:
         DropTailQueue.enqueue = orig
 
 
+@contextmanager
+def _mutate_miswire_uplink() -> Iterator[None]:
+    """Bug: one fat-tree edge switch fans an ECMP group over a host port.
+
+    Every fat-tree the fuzzer builds while this is active has one edge
+    switch whose uplink candidate set includes a host-facing port, so one
+    "equal-cost" alternative delivers to the wrong host / has a different
+    hop count — exactly what :func:`repro.net.topology.check_wiring`
+    (attached to every validated run) must flag as a
+    :class:`~repro.net.topology.WiringError`.
+    """
+    from ..net import topology as topo_mod
+
+    orig = topo_mod.build_fat_tree
+
+    def build_miswired(sim, params=None):
+        net = orig(sim, params)
+        edge = net.edges[0][0]
+        # Rewire the first remote-host ECMP entry: swap one true uplink for
+        # the switch's host-facing port 0 (ports beyond the uplinks).
+        half = net.k // 2
+        uplinks = edge.ports[-half:]
+        host_port = edge.ports[0]
+        for host in net.hosts:
+            if edge.ecmp_candidates(host.node_id) is not None:
+                edge.add_ecmp_group(host.node_id, (uplinks[0], host_port), salt=0)
+                break
+        return net
+
+    topo_mod.build_fat_tree = build_miswired
+    topo_mod.TOPOLOGIES["fat-tree"] = build_miswired
+    try:
+        yield
+    finally:
+        topo_mod.build_fat_tree = orig
+        topo_mod.TOPOLOGIES["fat-tree"] = orig
+
+
 MUTATIONS = {
     "double-drop": _mutate_double_drop,
     "leak-dequeue": _mutate_leak_dequeue,
     "phantom-mark": _mutate_phantom_mark,
+    "miswire-uplink": _mutate_miswire_uplink,
 }
 
 
@@ -295,7 +376,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 break
             try:
                 spec, digest, events = check_seed(seed)
-            except (InvariantViolation, FuzzFailure) as exc:
+            except (InvariantViolation, FuzzFailure, WiringError) as exc:
                 print(f"seed {seed}: FAIL — {exc}")
                 print(f"repro: {_repro_command(seed, args.mutate)}")
                 return 1

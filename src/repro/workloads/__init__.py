@@ -10,14 +10,23 @@ from .distributions import (
     exponential_interarrival_ns,
     sample_flow_size_bytes,
 )
+from .base import ClosedLoopWorkload
+from .http import RESPONSE_SIZE_CDFS, HttpConfig, HttpWorkload
 from .ids import next_flow_id
 from .incast import IncastConfig, IncastWorkload, RoundResult
 from .protocols import PROTOCOLS, ProtocolSpec, spec_for
+from .swarm import SwarmConfig, SwarmWorkload
 
 __all__ = [
     "IncastConfig",
     "IncastWorkload",
     "RoundResult",
+    "ClosedLoopWorkload",
+    "HttpConfig",
+    "HttpWorkload",
+    "RESPONSE_SIZE_CDFS",
+    "SwarmConfig",
+    "SwarmWorkload",
     "BackgroundConfig",
     "BackgroundTraffic",
     "ThroughputSample",

@@ -1,0 +1,116 @@
+"""Shared skeleton for closed-loop application workloads.
+
+:class:`ClosedLoopWorkload` factors the lifecycle the incast benchmark
+established — ``start()`` / ``run_to_completion()`` / ``close()``, a
+``rounds`` list of :class:`~repro.workloads.incast.RoundResult`, lifetime
+``flow_stats`` and the goodput/FCT/timeout aggregates — so the HTTP and
+swarm workloads plug into :func:`repro.exec.run_scenario` exactly like
+:class:`~repro.workloads.incast.IncastWorkload` does.
+
+(:class:`IncastWorkload` itself predates this base and deliberately does
+not inherit from it: its event sequence is pinned byte-for-byte by the
+golden digests, so it stays untouched.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..net.host import Host
+from ..tcp.receiver import TcpReceiver
+from ..tcp.sender import TcpSender
+from .incast import RoundResult
+from .protocols import ProtocolSpec
+
+
+class ClosedLoopWorkload:
+    """Base for workloads that issue requests, wait, then issue again.
+
+    Subclasses populate ``senders`` / ``receivers`` / ``_ctrl`` during
+    construction, implement :meth:`_begin` to kick off the closed loops,
+    and call :meth:`_finish` once every loop has drained.
+    """
+
+    def __init__(self, sim, tree, spec: ProtocolSpec):
+        self.sim = sim
+        self.tree = tree
+        self.spec = spec
+        self.rounds: List[RoundResult] = []
+        self.finished = False
+        self.senders: List[TcpSender] = []
+        self.receivers: List[TcpReceiver] = []
+        self._ctrl: List[Tuple[Host, int]] = []
+        self._started = False
+        self._stop_on_finish = False
+        # Seed the RTT estimator as a persistent connection would be.
+        if spec.tcp_config.seed_rtt_ns is None:
+            spec.tcp_config = spec.tcp_config.with_overrides(
+                seed_rtt_ns=tree.baseline_rtt_ns()
+            )
+
+    @property
+    def flow_stats(self) -> List:
+        """Per-flow lifetime statistics, in flow-creation order."""
+        return [s.stats for s in self.senders]
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first requests at the current simulated time."""
+        if self._started:
+            raise RuntimeError("workload already started")
+        self._started = True
+        self.sim.schedule(0, self._begin)
+
+    def _begin(self) -> None:
+        raise NotImplementedError
+
+    def run_to_completion(self, max_events: Optional[int] = None) -> None:
+        """Start (if needed) and pump the simulator until every loop ends."""
+        if not self._started:
+            self.start()
+        if not self.finished:
+            self._stop_on_finish = True
+            try:
+                self.sim.run(max_events=max_events)
+            finally:
+                self._stop_on_finish = False
+
+    def _finish(self) -> None:
+        """Mark the workload complete; stops the pump when we own it."""
+        self.finished = True
+        if self._stop_on_finish:
+            self.sim.request_stop()
+
+    def close(self) -> None:
+        """Tear down all endpoints (end of the experiment)."""
+        for sender in self.senders:
+            sender.close()
+        for receiver in self.receivers:
+            receiver.close()
+        for host, ctrl_id in self._ctrl:
+            host.unregister_flow(ctrl_id)
+        self._ctrl = []
+
+    # -- aggregate views -------------------------------------------------------
+    @property
+    def mean_goodput_bps(self) -> float:
+        """Average per-request goodput across completed requests."""
+        if not self.rounds:
+            return 0.0
+        return sum(r.goodput_bps for r in self.rounds) / len(self.rounds)
+
+    @property
+    def mean_fct_ns(self) -> float:
+        """Average request completion time."""
+        if not self.rounds:
+            return 0.0
+        return sum(r.duration_ns for r in self.rounds) / len(self.rounds)
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(r.timeouts for r in self.rounds)
+
+    @property
+    def total_reordered_packets(self) -> int:
+        """Receiver-observed reordering across all flows (multipath spray)."""
+        return sum(r.reordered_packets for r in self.receivers)

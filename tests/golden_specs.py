@@ -40,6 +40,10 @@ TINY_KWARGS: Dict[str, dict] = {
     # path) over a small fan-in spread; traced, so the digest also pins the
     # telemetry-derived taxonomy columns.
     "arena": dict(n_values=(4, 8), rounds=2, seeds=(1,)),
+    # The full {two-tier, dumbbell, fat-tree} x {incast, http, swarm} matrix
+    # at tiny scale: pins the topology builders, seeded ECMP path selection
+    # and both closed-loop workloads end to end.
+    "topo-matrix": dict(n_flows=4, rounds=2, seeds=(1,)),
 }
 
 

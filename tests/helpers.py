@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.net.pool import PacketPool
-from repro.net.topology import TopologyParams, TwoTierTree, build_dumbbell
+from repro.net.topology import TopologyParams, TwoTierTree, build_star
 from repro.sim.engine import Simulator
 from repro.tcp.config import TcpConfig
 from repro.tcp.receiver import TcpReceiver
@@ -75,10 +75,10 @@ def single_flow(
     seed: int = 1,
     **sender_kwargs,
 ) -> Tuple[Simulator, TwoTierTree, TcpSender, TcpReceiver]:
-    """One sender -> one receiver through a single switch (dumbbell)."""
+    """One sender -> one receiver through a single switch (star)."""
     sim = Simulator(seed=seed)
     params = TopologyParams(buffer_bytes=buffer_bytes, ecn_threshold_bytes=ecn_threshold)
-    tree = build_dumbbell(sim, n_senders=n_senders, params=params)
+    tree = build_star(sim, n_senders=n_senders, params=params)
     flow_id = next_flow_id()
     receiver = TcpReceiver(
         sim,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exec.scenario import ScenarioSpec, run_scenario
-from repro.net.topology import build_dumbbell
+from repro.net.topology import build_star
 from repro.sim.engine import Simulator
 from repro.tcp.cc import (
     CongestionControl,
@@ -76,7 +76,7 @@ class TestRegistry:
 class TestBuild:
     def _build(self, name, **kwargs):
         sim = Simulator()
-        tree = build_dumbbell(sim, n_senders=1)
+        tree = build_star(sim, n_senders=1)
         sender = get_cc(name).build(
             sim, tree.servers[0], tree.aggregator.node_id, next_flow_id(), **kwargs
         )

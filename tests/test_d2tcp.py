@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net.packet import make_ack_packet
-from repro.net.topology import build_dumbbell, build_two_tier
+from repro.net.topology import build_star, build_two_tier
 from repro.sim.engine import Simulator
 from repro.sim.units import MS, US
 from repro.tcp.config import TcpConfig
@@ -19,7 +19,7 @@ MSS = 1460
 
 def harness(cls=D2tcpSender, deadline_ns=None, total=40 * MSS):
     sim = Simulator()
-    tree = build_dumbbell(sim, n_senders=1)
+    tree = build_star(sim, n_senders=1)
     cfg = TcpConfig(seed_rtt_ns=100 * US, rto_min_ns=5 * MS)
     s = cls(
         sim, tree.servers[0], tree.aggregator.node_id, next_flow_id(),
@@ -103,7 +103,7 @@ class TestFirstRttDeadline:
 
     def unseeded(self, deadline_ns, total=40 * MSS):
         sim = Simulator()
-        tree = build_dumbbell(sim, n_senders=1)
+        tree = build_star(sim, n_senders=1)
         cfg = TcpConfig(seed_rtt_ns=None, rto_min_ns=5 * MS)
         s = D2tcpSender(
             sim, tree.servers[0], tree.aggregator.node_id, next_flow_id(),
@@ -169,7 +169,7 @@ class TestWorkloadIntegration:
 class TestProtocolFactory:
     def test_d2tcp_spec_builds_sender_with_deadline(self):
         sim = Simulator()
-        tree = build_dumbbell(sim, n_senders=1)
+        tree = build_star(sim, n_senders=1)
         spec = spec_for("d2tcp")
         s = spec.make_sender(
             sim, tree.servers[0], tree.aggregator.node_id, next_flow_id(),
@@ -180,7 +180,7 @@ class TestProtocolFactory:
 
     def test_non_deadline_protocols_ignore_deadline_arg(self):
         sim = Simulator()
-        tree = build_dumbbell(sim, n_senders=1)
+        tree = build_star(sim, n_senders=1)
         s = spec_for("dctcp").make_sender(
             sim, tree.servers[0], tree.aggregator.node_id, next_flow_id(),
             deadline_ns=123,

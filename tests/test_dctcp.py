@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net.packet import make_ack_packet
-from repro.net.topology import TopologyParams, build_dumbbell
+from repro.net.topology import TopologyParams, build_star
 from repro.sim.engine import Simulator
 from repro.sim.units import MS, US
 from repro.tcp.config import TcpConfig
@@ -18,7 +18,7 @@ MSS = 1460
 
 def harness(total=40 * MSS, **cfg_overrides):
     sim = Simulator()
-    tree = build_dumbbell(sim, n_senders=1)
+    tree = build_star(sim, n_senders=1)
     cfg = TcpConfig(seed_rtt_ns=100 * US, rto_min_ns=5 * MS, **cfg_overrides)
     s = DctcpSender(sim, tree.servers[0], tree.aggregator.node_id, next_flow_id(), cfg)
     s.send(total)
@@ -173,7 +173,7 @@ class TestEndToEndMarking:
         for cls in (DctcpSender, TcpSender):
             sim = Simulator()
             params = TopologyParams(buffer_bytes=64 * 1024, ecn_threshold_bytes=16 * 1024)
-            tree = build_dumbbell(sim, n_senders=2, params=params)
+            tree = build_star(sim, n_senders=2, params=params)
             senders = []
             for i in range(2):
                 flow = next_flow_id()

@@ -6,7 +6,7 @@ from repro.core.config import DctcpPlusConfig
 from repro.core.dctcp_plus import DctcpPlusSender
 from repro.core.states import DctcpPlusState
 from repro.net.packet import make_ack_packet
-from repro.net.topology import build_dumbbell
+from repro.net.topology import build_star
 from repro.sim.engine import Simulator
 from repro.sim.units import MS, US
 from repro.tcp.config import TcpConfig
@@ -19,7 +19,7 @@ MSS = 1460
 
 def harness(total=40 * MSS, plus=None, **cfg_overrides):
     sim = Simulator()
-    tree = build_dumbbell(sim, n_senders=1)
+    tree = build_star(sim, n_senders=1)
     cfg = TcpConfig(seed_rtt_ns=100 * US, rto_min_ns=5 * MS, **cfg_overrides)
     plus_cfg = DctcpPlusConfig(**(plus or {}))
     s = DctcpPlusSender(

@@ -8,7 +8,7 @@ estimate remains meaningful — while the ACK-path packet count drops.
 import pytest
 
 from repro.net.packet import make_data_packet
-from repro.net.topology import TopologyParams, build_dumbbell
+from repro.net.topology import TopologyParams, build_star
 from repro.sim.engine import Simulator
 from repro.tcp.config import TcpConfig
 from repro.tcp.dctcp import DctcpSender
@@ -25,7 +25,7 @@ MSS = 1460
 def run_pair(receiver_cls):
     sim = Simulator(seed=4)
     params = TopologyParams(buffer_bytes=64 * 1024, ecn_threshold_bytes=16 * 1024)
-    tree = build_dumbbell(sim, n_senders=2, params=params)
+    tree = build_star(sim, n_senders=2, params=params)
     senders, receivers = [], []
     for i in range(2):
         flow = next_flow_id()
@@ -87,7 +87,7 @@ class TestAlphaPinnedToMarkSequence:
     def test_alpha_matches_hand_computed_ewma(self):
         # Receiver side: six MSS-sized segments with CE = F F T T F F.
         sim = Simulator()
-        tree = build_dumbbell(sim, n_senders=1)
+        tree = build_star(sim, n_senders=1)
         trap = CaptureEndpoint(sim)
         acks = trap.packets
         tree.servers[0].register_flow(7, trap)
@@ -106,7 +106,7 @@ class TestAlphaPinnedToMarkSequence:
 
         # Sender side: replay the ACK stream into a DCTCP sender.
         sim2 = Simulator()
-        tree2 = build_dumbbell(sim2, n_senders=1)
+        tree2 = build_star(sim2, n_senders=1)
         cfg = TcpConfig(seed_rtt_ns=100_000)
         s = DctcpSender(sim2, tree2.servers[0], tree2.aggregator.node_id, next_flow_id(), cfg)
         s.cwnd = 20.0 * MSS

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.net.faults import drop_data_once, drop_nth, make_lossy, never, random_loss
-from repro.net.topology import build_dumbbell
+from repro.net.topology import build_star
 from repro.sim.engine import Simulator
 from repro.sim.units import MS, US
 from repro.tcp.config import TcpConfig
@@ -21,7 +21,7 @@ MSS = 1460
 def lossy_flow(policy, total=30 * MSS, rto_min=4 * MS):
     """Single flow whose *data direction* switch->receiver link is faulty."""
     sim = Simulator(seed=1)
-    tree = build_dumbbell(sim, n_senders=1)
+    tree = build_star(sim, n_senders=1)
     # splice a faulty link into the bottleneck port
     port = tree.bottleneck_port
     port.link = make_lossy(port.link, policy)
@@ -136,7 +136,7 @@ class TestMidRunSplice:
     def _run_with_mid_run_splice(self, validate=False, policy_factory=None):
         total = 40 * MSS
         sim = Simulator(seed=2, validate=validate)
-        tree = build_dumbbell(sim, n_senders=1)
+        tree = build_star(sim, n_senders=1)
         port = tree.bottleneck_port
         flow = next_flow_id()
         receiver = TcpReceiver(
@@ -210,7 +210,7 @@ class TestMidRunSplice:
 class TestLimitedTransmit:
     def _run(self, limited):
         sim = Simulator(seed=1)
-        tree = build_dumbbell(sim, n_senders=1)
+        tree = build_star(sim, n_senders=1)
         port = tree.bottleneck_port
         port.link = make_lossy(port.link, drop_data_once(0))  # lose 1st segment
         flow = next_flow_id()
@@ -240,7 +240,7 @@ class TestLimitedTransmit:
 
     def test_limited_transmit_respects_two_segment_bound(self):
         sim = Simulator(seed=1)
-        tree = build_dumbbell(sim, n_senders=1)
+        tree = build_star(sim, n_senders=1)
         flow = next_flow_id()
         cfg = TcpConfig(seed_rtt_ns=100 * US, limited_transmit=True)
         sender = TcpSender(sim, tree.servers[0], tree.aggregator.node_id, flow, cfg)

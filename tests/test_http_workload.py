@@ -1,0 +1,168 @@
+"""Tests for the closed-loop HTTP request/response workload."""
+
+import pytest
+
+from repro.exec.scenario import ScenarioSpec, run_scenario
+from repro.net.topology import TopologyParams, build_dumbbell, build_star
+from repro.sim.engine import Simulator
+from repro.workloads.http import RESPONSE_SIZE_CDFS, HttpConfig, HttpWorkload
+from repro.workloads.protocols import spec_for
+
+from .helpers import drain
+
+
+def _run(config, seed=1, topology=build_star, protocol="dctcp+", **topo_kwargs):
+    sim = Simulator(seed=seed)
+    if topology is build_star:
+        tree = topology(sim, n_senders=4)
+    else:
+        tree = topology(sim, TopologyParams(**topo_kwargs))
+    workload = HttpWorkload(sim, tree, spec_for(protocol), config)
+    workload.run_to_completion(max_events=5_000_000)
+    assert workload.finished
+    workload.close()
+    return workload
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            HttpConfig(n_clients=0)
+        with pytest.raises(ValueError):
+            HttpConfig(n_clients=1, n_requests=0)
+        with pytest.raises(ValueError):
+            HttpConfig(n_clients=1, response_size="no-such-cdf")
+        with pytest.raises(ValueError):
+            HttpConfig(n_clients=1, response_size=0)
+        with pytest.raises(ValueError):
+            HttpConfig(n_clients=1, think_mode="poisson")
+        with pytest.raises(ValueError):
+            HttpConfig(n_clients=1, think_scale=-1.0)
+
+
+class TestClosedLoop:
+    def test_every_request_completes_and_is_recorded(self):
+        config = HttpConfig(
+            n_clients=3, n_requests=2, response_size=20_000, think_mode="none"
+        )
+        workload = _run(config)
+        assert len(workload.rounds) == 3 * 2
+        assert all(r.completed for r in workload.rounds)
+        assert all(r.bytes_received == 20_000 for r in workload.rounds)
+        assert workload.mean_goodput_bps > 0
+        assert workload.mean_fct_ns > 0
+        assert len(workload.flow_stats) == 3  # one persistent flow per client
+
+    def test_cdf_response_sizes_stay_in_support(self):
+        config = HttpConfig(
+            n_clients=2,
+            n_requests=3,
+            response_size="short-message",
+            think_mode="none",
+        )
+        workload = _run(config)
+        cdf = RESPONSE_SIZE_CDFS["short-message"]
+        lo, hi = cdf._values[0], cdf._values[-1]
+        for r in workload.rounds:
+            assert lo <= r.bytes_received <= hi
+
+    def test_clients_round_robin_over_servers(self):
+        sim = Simulator(seed=1)
+        tree = build_star(sim, n_senders=2)
+        config = HttpConfig(n_clients=4, n_requests=1, response_size=1000)
+        workload = HttpWorkload(sim, tree, spec_for("dctcp"), config)
+        assert [c.server for c in workload.clients] == [
+            tree.servers[0],
+            tree.servers[1],
+            tree.servers[0],
+            tree.servers[1],
+        ]
+        workload.run_to_completion(max_events=5_000_000)
+        workload.close()
+
+    def test_fixed_think_time_delays_reissue(self):
+        fast = _run(
+            HttpConfig(n_clients=1, n_requests=3, response_size=5_000, think_mode="none")
+        )
+        slow = _run(
+            HttpConfig(
+                n_clients=1,
+                n_requests=3,
+                response_size=5_000,
+                think_mode="fixed",
+                think_ns=2_000_000,
+            )
+        )
+        gap_fast = fast.rounds[1].start_ns - fast.rounds[0].start_ns
+        gap_slow = slow.rounds[1].start_ns - slow.rounds[0].start_ns
+        assert gap_slow >= gap_fast + 2_000_000
+
+    def test_giveup_records_failed_request(self):
+        config = HttpConfig(
+            n_clients=2,
+            n_requests=5,
+            response_size=1_000_000,
+            request_deadline_ns=10_000,  # far shorter than the transfer
+        )
+        workload = _run(config)
+        assert workload.finished
+        assert len(workload.rounds) == 2  # one failed request per client
+        assert not any(r.completed for r in workload.rounds)
+
+    def test_double_start_rejected(self):
+        sim = Simulator(seed=1)
+        tree = build_star(sim, n_senders=1)
+        workload = HttpWorkload(
+            sim, tree, spec_for("dctcp"), HttpConfig(n_clients=1, response_size=100)
+        )
+        workload.start()
+        with pytest.raises(RuntimeError):
+            workload.start()
+        drain(sim)
+        workload.close()
+
+
+class TestDeterminism:
+    def _trace(self, seed):
+        config = HttpConfig(
+            n_clients=3, n_requests=3, response_size="short-message", think_scale=0.01
+        )
+        workload = _run(config, seed=seed)
+        return [(r.start_ns, r.duration_ns, r.bytes_received) for r in workload.rounds]
+
+    def test_same_seed_identical_rounds(self):
+        assert self._trace(5) == self._trace(5)
+
+    def test_seed_changes_draws(self):
+        assert self._trace(5) != self._trace(6)
+
+
+class TestOnDumbbell:
+    def test_runs_on_heterogeneous_legs(self):
+        config = HttpConfig(
+            n_clients=3, n_requests=2, response_size=10_000, think_mode="none"
+        )
+        workload = _run(
+            config,
+            topology=build_dumbbell,
+            n_pairs=3,
+            leg_delays_ns=(5_000, 20_000, 60_000),
+        )
+        assert len(workload.rounds) == 6
+        assert all(r.completed for r in workload.rounds)
+
+
+class TestScenarioIntegration:
+    def test_run_scenario_http_point(self):
+        spec = ScenarioSpec.create(
+            "dctcp",
+            4,
+            rounds=2,
+            seed=1,
+            workload="http",
+            workload_overrides=dict(response_size=20_000, think_mode="none"),
+        )
+        result = run_scenario(spec, validate=True)
+        assert result.rounds == 8
+        assert result.goodput_mbps > 0
+        assert len(result.flow_stats) == 4

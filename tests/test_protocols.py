@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.dctcp_plus import DctcpPlusSender
-from repro.net.topology import build_dumbbell
+from repro.net.topology import build_star
 from repro.sim.engine import Simulator
 from repro.tcp.dctcp import DctcpSender
 from repro.tcp.sender import TcpSender
@@ -53,7 +53,7 @@ class TestSpec:
 class TestMakeSender:
     def _make(self, name):
         sim = Simulator()
-        tree = build_dumbbell(sim, n_senders=1)
+        tree = build_star(sim, n_senders=1)
         spec = spec_for(name)
         return spec.make_sender(sim, tree.servers[0], tree.aggregator.node_id, next_flow_id())
 

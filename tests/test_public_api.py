@@ -11,7 +11,7 @@ import pytest
 
 import repro
 
-#: The v1.2 public surface.  Extend when the API grows; removing a name
+#: The v1.3 public surface.  Extend when the API grows; removing a name
 #: is a breaking change and should be a conscious decision.
 EXPECTED_SURFACE = {
     # simulator + topology
@@ -22,8 +22,16 @@ EXPECTED_SURFACE = {
     "Switch",
     "TopologyParams",
     "TwoTierTree",
+    "DumbbellNetwork",
+    "FatTreeNetwork",
     "build_two_tier",
     "build_dumbbell",
+    "build_star",
+    "build_fat_tree",
+    "check_wiring",
+    "WiringError",
+    "topology_builder",
+    "topology_names",
     # transports
     "TcpConfig",
     "TcpSender",
@@ -44,6 +52,11 @@ EXPECTED_SURFACE = {
     # workloads
     "IncastConfig",
     "IncastWorkload",
+    "ClosedLoopWorkload",
+    "HttpConfig",
+    "HttpWorkload",
+    "SwarmConfig",
+    "SwarmWorkload",
     "BackgroundConfig",
     "BackgroundTraffic",
     "BenchmarkConfig",

@@ -5,7 +5,7 @@ import pytest
 from repro.exec.scenario import ScenarioSpec, run_scenario
 from repro.net.packet import make_ack_packet, make_data_packet
 from repro.net.queues import DropTailQueue
-from repro.net.topology import TopologyParams, build_dumbbell, build_two_tier
+from repro.net.topology import TopologyParams, build_star, build_two_tier
 from repro.sim.engine import Simulator
 from repro.sim.units import MS, US
 from repro.tcp.config import TcpConfig
@@ -88,7 +88,7 @@ class TestInstall:
 class TestReceiverEcho:
     def test_inc_echoed_once_then_cleared(self):
         sim = Simulator()
-        tree = build_dumbbell(sim, n_senders=1)
+        tree = build_star(sim, n_senders=1)
         trap = CaptureEndpoint(sim)
         tree.servers[0].register_flow(1, trap)
         recv = TcpReceiver(sim, tree.aggregator, tree.servers[0].node_id, 1)
@@ -102,7 +102,7 @@ class TestReceiverEcho:
 
 def harness(total=100 * MSS):
     sim = Simulator()
-    tree = build_dumbbell(sim, n_senders=1)
+    tree = build_star(sim, n_senders=1)
     cfg = TcpConfig(seed_rtt_ns=100 * US, rto_min_ns=5 * MS)
     s = PulserSender(
         sim, tree.servers[0], tree.aggregator.node_id, next_flow_id(), config=cfg

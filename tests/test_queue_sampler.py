@@ -4,7 +4,7 @@ import pytest
 
 from repro.metrics.queue_sampler import QueueSampler
 from repro.net.packet import make_data_packet
-from repro.net.topology import build_dumbbell
+from repro.net.topology import build_star
 from repro.sim.engine import Simulator
 from repro.sim.units import US
 
@@ -13,7 +13,7 @@ from .helpers import intern
 
 def setup():
     sim = Simulator()
-    tree = build_dumbbell(sim, n_senders=1)
+    tree = build_star(sim, n_senders=1)
     return sim, tree, tree.bottleneck_port
 
 

@@ -3,7 +3,7 @@
 from repro.core.reno_plus import RenoPlusSender
 from repro.core.states import DctcpPlusState
 from repro.net.packet import make_ack_packet
-from repro.net.topology import build_dumbbell
+from repro.net.topology import build_star
 from repro.sim.engine import Simulator
 from repro.sim.units import MS, US
 from repro.tcp.config import TcpConfig
@@ -18,7 +18,7 @@ MSS = 1460
 
 def harness(total=40 * MSS):
     sim = Simulator()
-    tree = build_dumbbell(sim, n_senders=1)
+    tree = build_star(sim, n_senders=1)
     cfg = TcpConfig(seed_rtt_ns=100 * US, rto_min_ns=5 * MS)
     s = RenoPlusSender(sim, tree.servers[0], tree.aggregator.node_id, next_flow_id(), config=cfg)
     s.send(total)

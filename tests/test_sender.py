@@ -9,7 +9,7 @@ sequences, ECE bits and timing.
 import pytest
 
 from repro.net.packet import make_ack_packet
-from repro.net.topology import build_dumbbell
+from repro.net.topology import build_star
 from repro.sim.engine import Simulator
 from repro.sim.units import MS, US
 from repro.tcp.config import TcpConfig
@@ -24,7 +24,7 @@ MSS = 1460
 
 def harness(total=20 * MSS, **cfg_overrides):
     sim = Simulator()
-    tree = build_dumbbell(sim, n_senders=1)
+    tree = build_star(sim, n_senders=1)
     cfg = TcpConfig(seed_rtt_ns=100 * US, rto_min_ns=5 * MS, **cfg_overrides)
     flow = next_flow_id()
     sender = TcpSender(sim, tree.servers[0], tree.aggregator.node_id, flow, cfg)
@@ -76,7 +76,7 @@ class TestWindowAndSending:
 
     def test_partial_last_segment(self):
         sim = Simulator()
-        tree = build_dumbbell(sim, n_senders=1)
+        tree = build_star(sim, n_senders=1)
         cfg = TcpConfig(seed_rtt_ns=100 * US)
         s = TcpSender(sim, tree.servers[0], tree.aggregator.node_id, next_flow_id(), cfg)
         s.send(MSS + 300)
@@ -206,7 +206,7 @@ class TestCompletionAndClose:
     def test_completion_callback_and_timer_stop(self):
         done = []
         sim = Simulator()
-        tree = build_dumbbell(sim, n_senders=1)
+        tree = build_star(sim, n_senders=1)
         cfg = TcpConfig(seed_rtt_ns=100 * US, rto_min_ns=5 * MS)
         s = TcpSender(
             sim, tree.servers[0], tree.aggregator.node_id, next_flow_id(), cfg,

@@ -15,7 +15,7 @@ from repro.core.dctcp_plus import DctcpPlusSender
 from repro.core.state_machine import SlowTimeStateMachine
 from repro.core.states import DctcpPlusState
 from repro.net.packet import make_ack_packet
-from repro.net.topology import build_dumbbell
+from repro.net.topology import build_star
 from repro.sim.engine import Simulator
 from repro.sim.units import MS, US
 from repro.tcp.config import TcpConfig
@@ -31,7 +31,7 @@ TOTAL = 30 * MSS
 
 def build(sender_cls):
     sim = Simulator(seed=1)
-    tree = build_dumbbell(sim, n_senders=1)
+    tree = build_star(sim, n_senders=1)
     cfg = TcpConfig(seed_rtt_ns=100 * US, rto_min_ns=2 * MS)
     sender = sender_cls(sim, tree.servers[0], tree.aggregator.node_id, next_flow_id(), config=cfg)
     sender.send(TOTAL)

@@ -1,0 +1,139 @@
+"""Tests for the many-to-many swarm workload."""
+
+import pytest
+
+from repro.exec.scenario import ScenarioSpec, run_scenario
+from repro.net.topology import TopologyParams, build_dumbbell, build_fat_tree, build_star
+from repro.sim.engine import Simulator
+from repro.workloads.protocols import spec_for
+from repro.workloads.swarm import SwarmConfig, SwarmWorkload
+
+
+def _run(config, tree_factory, seed=1, protocol="dctcp+"):
+    sim = Simulator(seed=seed)
+    tree = tree_factory(sim)
+    workload = SwarmWorkload(sim, tree, spec_for(protocol), config)
+    workload.run_to_completion(max_events=20_000_000)
+    assert workload.finished
+    workload.close()
+    return workload
+
+
+def _star(sim):
+    return build_star(sim, n_senders=3)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            SwarmConfig(n_peers=1)
+        with pytest.raises(ValueError):
+            SwarmConfig(n_peers=2, n_pieces=0)
+        with pytest.raises(ValueError):
+            SwarmConfig(n_peers=2, piece_bytes=0)
+
+    def test_needs_two_hosts(self):
+        sim = Simulator(seed=1)
+        tree = build_star(sim, n_senders=1)
+        tree.servers.clear()
+        spec = spec_for("dctcp")
+        # Pre-seed the RTT: the base class would otherwise derive it from
+        # the (deliberately degenerate) topology before the host check.
+        spec.tcp_config = spec.tcp_config.with_overrides(seed_rtt_ns=100_000)
+        with pytest.raises(ValueError, match="two hosts"):
+            SwarmWorkload(sim, tree, spec, SwarmConfig(n_peers=4))
+
+
+class TestFetchLoop:
+    def test_every_piece_fetched_and_recorded(self):
+        config = SwarmConfig(n_peers=4, n_pieces=2, piece_bytes=8_192)
+        workload = _run(config, _star)
+        assert len(workload.peers) == 4
+        assert len(workload.rounds) == 4 * 2
+        assert all(r.completed for r in workload.rounds)
+        assert all(r.bytes_received == 8_192 for r in workload.rounds)
+        assert workload.mean_goodput_bps > 0
+
+    def test_peers_clamped_to_host_count(self):
+        config = SwarmConfig(n_peers=50, n_pieces=1, piece_bytes=4_096)
+        workload = _run(config, _star)
+        assert len(workload.peers) == 4  # 1 receiver + 3 senders
+
+    def test_pairs_are_persistent_and_directional(self):
+        config = SwarmConfig(n_peers=3, n_pieces=6, piece_bytes=4_096)
+        workload = _run(config, _star)
+        n = len(workload.peers)
+        assert len(workload._pairs) <= n * (n - 1)
+        for (src, fetcher) in workload._pairs:
+            assert src != fetcher  # nobody fetches from themselves
+        # Channels are reused: fewer TCP pairs than total fetches.
+        assert len(workload.senders) == len(workload._pairs)
+        assert len(workload.rounds) > len(workload._pairs) - n
+
+    def test_giveup_records_failed_fetch(self):
+        config = SwarmConfig(
+            n_peers=3, n_pieces=4, piece_bytes=1_000_000, fetch_deadline_ns=10_000
+        )
+        workload = _run(config, _star)
+        assert workload.finished
+        assert len(workload.rounds) == 3  # each peer fails its first fetch
+        assert not any(r.completed for r in workload.rounds)
+
+
+class TestDeterminism:
+    def _trace(self, seed):
+        config = SwarmConfig(n_peers=4, n_pieces=3, piece_bytes=16_384)
+        workload = _run(config, _star, seed=seed)
+        return [(r.start_ns, r.duration_ns) for r in workload.rounds]
+
+    def test_same_seed_identical_rounds(self):
+        assert self._trace(9) == self._trace(9)
+
+    def test_seed_changes_source_picks(self):
+        assert self._trace(9) != self._trace(10)
+
+
+class TestMultipath:
+    def _fat_tree_run(self, ecmp_mode):
+        params = TopologyParams(fat_tree_k=4, hosts_per_edge=1, ecmp_mode=ecmp_mode)
+        config = SwarmConfig(n_peers=8, n_pieces=2, piece_bytes=64 * 1024)
+        return _run(config, lambda sim: build_fat_tree(sim, params))
+
+    def test_flow_ecmp_preserves_order(self):
+        workload = self._fat_tree_run("flow")
+        assert all(r.completed for r in workload.rounds)
+        assert workload.total_reordered_packets == 0
+
+    def test_packet_spray_reorders_but_still_completes(self):
+        workload = self._fat_tree_run("packet")
+        assert all(r.completed for r in workload.rounds)
+        # The spray splits one flow's segments across unequal queues; the
+        # receiver's reassembly buffer must absorb (and count) the shuffle.
+        assert workload.total_reordered_packets > 0
+        assert workload.total_timeouts == 0
+
+    def test_runs_on_dumbbell_both_directions(self):
+        config = SwarmConfig(n_peers=4, n_pieces=2, piece_bytes=16_384)
+        workload = _run(
+            config,
+            lambda sim: build_dumbbell(
+                sim, TopologyParams(n_pairs=2, leg_delays_ns=(5_000, 25_000))
+            ),
+        )
+        assert len(workload.rounds) == 8
+        assert all(r.completed for r in workload.rounds)
+
+
+class TestScenarioIntegration:
+    def test_run_scenario_swarm_point(self):
+        spec = ScenarioSpec.create(
+            "dctcp",
+            4,
+            rounds=2,
+            seed=1,
+            workload="swarm",
+            workload_overrides=dict(piece_bytes=16_384),
+        )
+        result = run_scenario(spec, validate=True)
+        assert result.rounds == 8
+        assert result.goodput_mbps > 0

@@ -85,6 +85,29 @@ class TestGridExpansion:
         assert point.protocol == "tcp"
         assert point.seed == 1
         assert point.topo_overrides == ()
+        assert point.topology == "two-tier"
+        assert point.workload == "incast"
+
+    def test_topology_and_workload_axes(self):
+        spec = SweepSpec.from_dict(
+            {
+                "name": "shapes",
+                "axes": {
+                    "topology": ["two-tier", "dumbbell", "fat-tree"],
+                    "workload": ["incast", "http"],
+                    "n_flows": [2],
+                    "seed": [1],
+                },
+            }
+        )
+        points = spec.points()
+        assert len(points) == 3 * 2
+        assert {(p.topology, p.workload) for p in points} == {
+            (t, w)
+            for t in ("two-tier", "dumbbell", "fat-tree")
+            for w in ("incast", "http")
+        }
+        assert len({p.cache_key() for p in points}) == 6
 
 
 class TestRandomExpansion:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exec.scenario import ScenarioSpec, run_scenario
-from repro.net.topology import build_dumbbell
+from repro.net.topology import build_star
 from repro.sim.engine import Simulator
 from repro.sim.units import MS, US
 from repro.tcp.config import TcpConfig
@@ -15,7 +15,7 @@ MSS = 1460
 
 def harness(seed_rtt=100 * US, total=200 * MSS):
     sim = Simulator()
-    tree = build_dumbbell(sim, n_senders=1)
+    tree = build_star(sim, n_senders=1)
     cfg = TcpConfig(seed_rtt_ns=seed_rtt, rto_min_ns=5 * MS)
     s = TbtcpSender(
         sim, tree.servers[0], tree.aggregator.node_id, next_flow_id(), config=cfg

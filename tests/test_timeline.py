@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.dctcp_plus import DctcpPlusSender
 from repro.metrics.timeline import SAMPLED_FIELDS, FlowTracer
-from repro.net.topology import build_dumbbell
+from repro.net.topology import build_star
 from repro.sim.engine import Simulator
 from repro.sim.units import MS, US
 from repro.tcp.config import TcpConfig
@@ -17,7 +17,7 @@ MSS = 1460
 
 def traced_flow(sender_cls=TcpSender, total=40 * MSS, deliver=True, **cfg):
     sim = Simulator(seed=2)
-    tree = build_dumbbell(sim, n_senders=1)
+    tree = build_star(sim, n_senders=1)
     flow = next_flow_id()
     if deliver:
         TcpReceiver(sim, tree.aggregator, tree.servers[0].node_id, flow, expected_bytes=total)
@@ -64,7 +64,7 @@ class TestSampling:
         # goes to the engine freelist.  A stale tracer handle to it must not
         # let stop() cancel whatever unrelated event reuses the carcass.
         sim = Simulator(seed=2)
-        tree = build_dumbbell(sim, n_senders=1)
+        tree = build_star(sim, n_senders=1)
         flow = next_flow_id()
         config = TcpConfig(seed_rtt_ns=tree.baseline_rtt_ns(), rto_min_ns=5 * MS)
         sender = TcpSender(sim, tree.servers[0], tree.aggregator.node_id, flow, config=config)

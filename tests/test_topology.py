@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net.packet import make_data_packet
-from repro.net.topology import TopologyParams, build_dumbbell, build_two_tier
+from repro.net.topology import TopologyParams, build_star, build_two_tier
 from repro.sim.engine import Simulator
 
 from .helpers import CaptureEndpoint as Endpoint, intern
@@ -99,7 +99,7 @@ class TestBottleneck:
 class TestDumbbell:
     def test_shape_and_reachability(self):
         sim = Simulator()
-        tree = build_dumbbell(sim, n_senders=3)
+        tree = build_star(sim, n_senders=3)
         assert len(tree.servers) == 3
         ep = Endpoint(sim)
         tree.aggregator.register_flow(5, ep)
@@ -116,6 +116,6 @@ class TestDumbbell:
 
     def test_baseline_rtt_shorter_than_tree(self):
         assert (
-            build_dumbbell(Simulator()).baseline_rtt_ns()
+            build_star(Simulator()).baseline_rtt_ns()
             < build_two_tier(Simulator()).baseline_rtt_ns()
         )

@@ -1,0 +1,239 @@
+"""Wiring-invariant property tests for the dumbbell and fat-tree builders.
+
+Every built network must satisfy :func:`repro.net.topology.check_wiring`
+(bidirectional rate-consistent cables, all-pairs reachability, truly
+equal-cost ECMP candidate sets), and the switch/port/host counts must
+match the closed forms implied by (k, hosts_per_edge) / n_pairs.
+"""
+
+import pytest
+
+from repro.net.host import Host
+from repro.net.shared_buffer import SharedBufferSwitch
+from repro.net.topology import (
+    TOPOLOGIES,
+    TopologyParams,
+    WiringError,
+    build_dumbbell,
+    build_fat_tree,
+    build_star,
+    build_two_tier,
+    check_wiring,
+    topology_builder,
+    topology_names,
+)
+from repro.sim.engine import Simulator
+
+
+class TestRegistry:
+    def test_names_in_registry_order(self):
+        assert topology_names() == ["two-tier", "dumbbell", "fat-tree"]
+
+    def test_builder_resolution(self):
+        assert topology_builder("dumbbell") is build_dumbbell
+        assert topology_builder("fat-tree") is build_fat_tree
+        assert TOPOLOGIES["two-tier"] is build_two_tier
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            topology_builder("clos")
+
+
+class TestCheckWiringPasses:
+    """Every shipped builder produces a structurally valid network."""
+
+    def test_two_tier(self):
+        check_wiring(build_two_tier(Simulator()))
+
+    def test_star(self):
+        check_wiring(build_star(Simulator(), n_senders=3))
+
+    @pytest.mark.parametrize("n_pairs", [1, 2, 5])
+    def test_dumbbell(self, n_pairs):
+        params = TopologyParams(n_pairs=n_pairs, leg_delays_ns=(5_000, 40_000))
+        check_wiring(build_dumbbell(Simulator(), params))
+
+    @pytest.mark.parametrize("k,hosts_per_edge", [(2, 1), (4, None), (4, 1), (6, 2)])
+    def test_fat_tree(self, k, hosts_per_edge):
+        params = TopologyParams(fat_tree_k=k, hosts_per_edge=hosts_per_edge)
+        check_wiring(build_fat_tree(Simulator(), params))
+
+    def test_fat_tree_packet_spray_mode(self):
+        params = TopologyParams(fat_tree_k=4, hosts_per_edge=1, ecmp_mode="packet")
+        check_wiring(build_fat_tree(Simulator(), params))
+
+    def test_shared_buffer_fat_tree(self):
+        # SharedBufferSwitch has its own ECMP plumbing (_EcmpRoute); the
+        # checker must see through it via ecmp_candidates.
+        params = TopologyParams(fat_tree_k=4, hosts_per_edge=1, shared_pool_bytes=512 * 1024)
+        net = build_fat_tree(Simulator(), params)
+        assert isinstance(net.cores[0], SharedBufferSwitch)
+        check_wiring(net)
+
+
+class TestDumbbellShape:
+    def test_closed_form_counts(self):
+        params = TopologyParams(n_pairs=3)
+        net = build_dumbbell(Simulator(), params)
+        assert len(net.senders) == 3 and len(net.receivers) == 3
+        # Each side: one access port per pair plus the trunk.
+        assert len(net.left.ports) == 3 + 1
+        assert len(net.right.ports) == 3 + 1
+        assert net.bottleneck_port in net.left.ports
+        assert net.reverse_port in net.right.ports
+
+    def test_leg_delays_cycle_and_apply(self):
+        params = TopologyParams(n_pairs=4, leg_delays_ns=(5_000, 40_000))
+        net = build_dumbbell(Simulator(), params)
+        assert net.leg_delays_ns == [5_000, 40_000, 5_000, 40_000]
+        for i, sender in enumerate(net.senders):
+            assert sender.nic.link.prop_delay_ns == net.leg_delays_ns[i]
+        for i, receiver in enumerate(net.receivers):
+            assert receiver.nic.link.prop_delay_ns == net.leg_delays_ns[i]
+
+    def test_homogeneous_default_legs(self):
+        net = build_dumbbell(Simulator(), TopologyParams(n_pairs=2))
+        assert net.leg_delays_ns == [net.params.prop_delay_ns] * 2
+
+    def test_hops_between(self):
+        net = build_dumbbell(Simulator(), TopologyParams(n_pairs=2))
+        s0, s1 = net.senders
+        r0 = net.receivers[0]
+        assert net.hops_between(s0, s0) == 0
+        assert net.hops_between(s0, s1) == 2  # same side
+        assert net.hops_between(s0, r0) == 3  # across the trunk
+
+    def test_baseline_rtt_grows_with_leg_delay(self):
+        slow = build_dumbbell(Simulator(), TopologyParams(leg_delays_ns=(50_000,)))
+        fast = build_dumbbell(Simulator(), TopologyParams(leg_delays_ns=(5_000,)))
+        assert slow.baseline_rtt_ns() > fast.baseline_rtt_ns()
+
+    def test_workload_surface(self):
+        net = build_dumbbell(Simulator(), TopologyParams(n_pairs=2))
+        assert net.servers is net.senders
+        assert net.aggregator is net.receivers[0]
+        assert set(net.all_hosts) == set(net.senders) | set(net.receivers)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_dumbbell(Simulator(), TopologyParams(n_pairs=0))
+        with pytest.raises(ValueError):
+            build_dumbbell(Simulator(), TopologyParams(leg_delays_ns=(-1,)))
+
+
+class TestFatTreeShape:
+    @pytest.mark.parametrize("k,h", [(2, 1), (4, 2), (6, 3)])
+    def test_closed_form_counts(self, k, h):
+        half = k // 2
+        params = TopologyParams(fat_tree_k=k, hosts_per_edge=h)
+        net = build_fat_tree(Simulator(), params)
+        assert len(net.cores) == half * half
+        assert len(net.aggs) == k and all(len(pod) == half for pod in net.aggs)
+        assert len(net.edges) == k and all(len(pod) == half for pod in net.edges)
+        assert len(net.hosts) == k * half * h
+        # Port (and therefore queue) counts per switch role:
+        for pod in net.edges:
+            for edge in pod:
+                assert len(edge.ports) == h + half  # hosts below + aggs above
+        for pod in net.aggs:
+            for agg in pod:
+                assert len(agg.ports) == half + half  # edges below + cores above
+        for core in net.cores:
+            assert len(core.ports) == k  # one per pod
+
+    def test_default_hosts_per_edge_is_half_k(self):
+        net = build_fat_tree(Simulator(), TopologyParams(fat_tree_k=4))
+        assert len(net.hosts) == 4 * 2 * 2  # k^3/4
+
+    def test_hops_between(self):
+        net = build_fat_tree(Simulator(), TopologyParams(fat_tree_k=4, hosts_per_edge=2))
+        hosts = net.hosts
+        assert net.hops_between(hosts[0], hosts[0]) == 0
+        assert net.hops_between(hosts[0], hosts[1]) == 2  # same edge
+        assert net.hops_between(hosts[0], hosts[2]) == 4  # same pod, other edge
+        assert net.hops_between(hosts[0], hosts[-1]) == 6  # other pod
+
+    def test_ecmp_candidate_set_sizes(self):
+        # Intra-pod remote traffic fans over k/2 uplinks at the edge; the
+        # aggs then have a unique down-route.  Inter-pod traffic also fans
+        # over k/2 core uplinks at each agg: (k/2)^2 total paths.
+        k = 4
+        net = build_fat_tree(Simulator(), TopologyParams(fat_tree_k=k, hosts_per_edge=1))
+        half = k // 2
+        local, remote_same_pod, remote_other_pod = net.hosts[0], net.hosts[1], net.hosts[-1]
+        edge = net.edges[0][0]
+        assert edge.ecmp_candidates(local.node_id) is None  # direct attachment
+        assert len(edge.ecmp_candidates(remote_same_pod.node_id)) == half
+        assert len(edge.ecmp_candidates(remote_other_pod.node_id)) == half
+        for agg in net.aggs[0]:
+            assert agg.ecmp_candidates(remote_same_pod.node_id) is None
+            assert len(agg.ecmp_candidates(remote_other_pod.node_id)) == half
+        for core in net.cores:
+            assert core.ecmp_candidates(remote_other_pod.node_id) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="even"):
+            build_fat_tree(Simulator(), TopologyParams(fat_tree_k=3))
+        with pytest.raises(ValueError, match="even"):
+            build_fat_tree(Simulator(), TopologyParams(fat_tree_k=0))
+        with pytest.raises(ValueError, match="ecmp_mode"):
+            build_fat_tree(Simulator(), TopologyParams(ecmp_mode="spray"))
+        with pytest.raises(ValueError, match="host"):
+            build_fat_tree(Simulator(), TopologyParams(hosts_per_edge=0))
+
+
+class TestCheckWiringCatchesDefects:
+    def test_misdelivery_to_wrong_host(self):
+        net = build_dumbbell(Simulator(), TopologyParams(n_pairs=2))
+        # Point receiver-2 traffic at receiver 1's access port.
+        wrong = net.right.route_for(net.receivers[0].node_id)
+        net.right.add_route(net.receivers[1].node_id, wrong)
+        with pytest.raises(WiringError, match="wrong host"):
+            check_wiring(net)
+
+    def test_routing_loop(self):
+        net = build_dumbbell(Simulator(), TopologyParams(n_pairs=2))
+        # Right switch bounces receiver-1 traffic back across the trunk.
+        net.right.add_route(net.receivers[0].node_id, net.reverse_port)
+        with pytest.raises(WiringError, match="loop"):
+            check_wiring(net)
+
+    def test_missing_route(self):
+        net = build_dumbbell(Simulator(), TopologyParams(n_pairs=2))
+        del net.left._routes[net.receivers[1].node_id]
+        del net.left._sends[net.receivers[1].node_id]
+        with pytest.raises(WiringError, match="no route"):
+            check_wiring(net)
+
+    def test_asymmetric_access_cable(self):
+        net = build_dumbbell(Simulator(), TopologyParams(n_pairs=2))
+        net.senders[0].nic.link.prop_delay_ns += 1
+        with pytest.raises(WiringError, match="asymmetric"):
+            check_wiring(net)
+
+    def test_unequal_cost_candidates(self):
+        net = build_fat_tree(Simulator(), TopologyParams(fat_tree_k=4, hosts_per_edge=1))
+        # Replace one core uplink of an agg's inter-pod ECMP group with the
+        # agg's *down* port toward its own edge: still delivers (the edge
+        # bounces it back up), but the alternatives stop being equal cost.
+        agg = net.aggs[0][0]
+        dst = net.hosts[-1]
+        up = list(agg.ecmp_candidates(dst.node_id))
+        down_port = agg.route_for(net.hosts[0].node_id)
+        agg.add_ecmp_group(dst.node_id, [up[0], down_port], salt=99)
+        with pytest.raises(WiringError):
+            check_wiring(net)
+
+    def test_needs_two_hosts(self):
+        sim = Simulator()
+        net = build_star(sim, n_senders=1)
+        net.servers.clear()
+        with pytest.raises(WiringError, match="two hosts"):
+            check_wiring(net)
+
+    def test_detached_host(self):
+        sim = Simulator()
+        net = build_star(sim, n_senders=2)
+        net.servers.append(Host(sim, "orphan"))
+        with pytest.raises(WiringError, match="no access link"):
+            check_wiring(net)

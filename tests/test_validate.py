@@ -8,7 +8,7 @@ from repro.net.host import Host
 from repro.net.link import Link
 from repro.net.packet import make_data_packet
 from repro.net.shared_buffer import SharedBufferSwitch
-from repro.net.topology import build_dumbbell
+from repro.net.topology import build_star
 from repro.sim.engine import Simulator
 from repro.sim.units import MS, US
 from repro.tcp.config import TcpConfig
@@ -54,7 +54,7 @@ class TestOptIn:
 
     def test_components_register(self):
         sim = Simulator(seed=1, validate=True)
-        tree = build_dumbbell(sim, n_senders=2)
+        tree = build_star(sim, n_senders=2)
         flow = next_flow_id()
         TcpReceiver(sim, tree.aggregator, tree.servers[0].node_id, flow, expected_bytes=MSS)
         TcpSender(sim, tree.servers[0], tree.aggregator.node_id, flow)
@@ -78,7 +78,7 @@ class TestResultEquality:
 
     def test_verify_all_reports_components(self):
         sim = Simulator(seed=1, validate=True)
-        build_dumbbell(sim, n_senders=2)
+        build_star(sim, n_senders=2)
         summary = sim.checker.verify_all()
         assert summary["ports"] == 6
         assert summary["sweeps"] >= 1
@@ -153,7 +153,7 @@ class TestDetection:
 class TestMachineObserver:
     def test_time_inc_entry_above_floor_rejected(self):
         sim = Simulator(seed=1, validate=True)
-        tree = build_dumbbell(sim, n_senders=1)
+        tree = build_star(sim, n_senders=1)
         sender = DctcpPlusSender(
             sim,
             tree.servers[0],

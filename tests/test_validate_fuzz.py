@@ -43,6 +43,41 @@ class TestDrawSpec:
         assert all(s.cc_name == s.cc for s in routed)
         assert all(s.cc_name == s.protocol for s in specs if not s.cc)
 
+    def test_draws_cover_topologies_and_workloads(self):
+        from repro.validate.fuzz import FUZZ_TOPOLOGIES, FUZZ_WORKLOADS
+
+        assert set(FUZZ_TOPOLOGIES) == {"two-tier", "dumbbell", "fat-tree"}
+        assert set(FUZZ_WORKLOADS) == {"incast", "http", "swarm"}
+        specs = [draw_spec(s) for s in range(1, 60)]
+        assert {s.topology for s in specs} == set(FUZZ_TOPOLOGIES)
+        assert {s.workload for s in specs} == set(FUZZ_WORKLOADS)
+
+    def test_fat_tree_draws_carry_topology_overrides(self):
+        specs = [draw_spec(s) for s in range(1, 80)]
+        fat_trees = [s for s in specs if s.topology == "fat-tree"]
+        assert fat_trees, "no fat-tree drawn in 80 seeds"
+        for spec in fat_trees:
+            topo = dict(spec.topo_overrides)
+            assert topo["fat_tree_k"] % 2 == 0
+            assert topo["ecmp_mode"] in ("flow", "packet")
+        dumbbells = [s for s in specs if s.topology == "dumbbell"]
+        assert dumbbells, "no dumbbell drawn in 80 seeds"
+        assert any(dict(s.topo_overrides).get("leg_delays_ns") for s in dumbbells)
+
+    def test_workload_overrides_only_on_non_incast_draws(self):
+        specs = [draw_spec(s) for s in range(1, 80)]
+        for spec in specs:
+            if spec.workload == "incast":
+                assert spec.workload_overrides == ()
+            else:
+                # Closed-loop draws cap their give-up deadline so a
+                # fault-heavy scenario cannot burn 60 sim-seconds.
+                overrides = dict(spec.workload_overrides)
+                deadline_key = (
+                    "request_deadline_ns" if spec.workload == "http" else "fetch_deadline_ns"
+                )
+                assert overrides[deadline_key] <= 5_000_000_000
+
 
 class TestBudgetParsing:
     @pytest.mark.parametrize(
@@ -99,3 +134,17 @@ class TestMutationDetection:
         with MUTATIONS["double-drop"]():
             mutated = result_digest(run_scenario(spec, validate=False))
         assert mutated == clean
+
+    def test_miswired_fat_tree_caught_by_wiring_check(self):
+        """A mis-wired fat-tree uplink is a *structural* defect: any
+        validated run of any fat-tree scenario must refuse to start."""
+        from repro.exec.scenario import ScenarioSpec, run_scenario
+        from repro.net.topology import WiringError
+
+        spec = ScenarioSpec.create(
+            "dctcp", 2, rounds=1, seed=1, topology="fat-tree", workload="incast"
+        )
+        run_scenario(spec, validate=True)  # sanity: clean build passes
+        with MUTATIONS["miswire-uplink"]():
+            with pytest.raises(WiringError, match="wrong host"):
+                run_scenario(spec, validate=True)
