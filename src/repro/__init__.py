@@ -16,6 +16,9 @@ The package layers:
   orchestration (``python -m repro sweep``)
 - :mod:`repro.telemetry` — typed event tracing, collectors, exporters,
   engine profiling (``python -m repro trace``)
+- :mod:`repro.control` — gym-style :class:`ControlEnv` (step/observe/act
+  over a live scenario) and external scripted CC policies riding the
+  typed :class:`CCEvent` protocol (``cc="external:<policy>"``)
 - :mod:`repro.experiments` — one driver per paper table/figure
 
 :mod:`repro.config` gathers the protocol configuration surfaces
@@ -76,10 +79,12 @@ from .net import (
     topology_builder,
     topology_names,
 )
+from .control import ControlEnv, ExternalPolicy
 from .sim import Simulator
 from .sweep import SweepProgress, SweepSpec, SweepStore, run_sweep
 from .tcp import DctcpSender, TcpConfig, TcpReceiver, TcpSender, TimeoutKind
 from .tcp.cc import CongestionControl, cc_labels, cc_names, get_cc, register
+from .tcp.events import CCEvent
 from .telemetry import (
     Collector,
     EngineProfiler,
@@ -105,7 +110,7 @@ from .workloads import (
 from . import config
 from .experiments.common import run_incast_batch
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Simulator",
@@ -135,6 +140,9 @@ __all__ = [
     "get_cc",
     "cc_names",
     "cc_labels",
+    "CCEvent",
+    "ControlEnv",
+    "ExternalPolicy",
     "DctcpPlusConfig",
     "DctcpPlusSender",
     "DctcpPlusState",

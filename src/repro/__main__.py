@@ -18,11 +18,11 @@ Shared flags may be given *before* the command and apply to any of them:
 The shared flags travel as environment variables, which is exactly how
 worker processes already inherit them — so ``--workers 8`` before the
 command and ``--workers 8`` after it (where a command defines its own)
-behave identically.
-
-The old per-module entry points (``python -m repro.experiments``,
-``python -m repro.bench``, ``python -m repro.validate.fuzz``) still work
-but print a deprecation note to stderr.
+behave identically.  Each command declares its own subset of the shared
+flags through :mod:`repro.cli`, so the wording and environment plumbing
+are identical everywhere.  This umbrella is the only entry point: the
+old per-module ones (``python -m repro.experiments``,
+``python -m repro.bench``, ``python -m repro.validate.fuzz``) are gone.
 """
 
 from __future__ import annotations

@@ -33,9 +33,9 @@ counts gate, its throughput is the informational perf trajectory.
 from __future__ import annotations
 
 import argparse
-import os
 from typing import Optional, Sequence
 
+from ..cli import add_common_arguments, apply_common_arguments
 from .harness import compare, load_baseline, run_benchmarks, write_baseline
 from .scenarios import SCENARIOS, select
 
@@ -59,10 +59,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro bench",
         description="Time the simulation engine on canonical scenarios.",
     )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="run only the quick subset (the CI gate set)",
+    add_common_arguments(
+        parser,
+        quick=True,
+        quick_help="run only the quick scenario subset (the CI gate set)",
     )
     parser.add_argument(
         "--repeats",
@@ -116,21 +116,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(compare-only mode; --repeats/--scenario/--quick are ignored)",
     )
     parser.add_argument(
-        "--validate",
-        action="store_true",
-        help="benchmark with the repro.validate invariant checker attached "
-        "(measures validation overhead; do not gate against a validate-off baseline)",
-    )
-    parser.add_argument(
         "--profile",
         action="store_true",
         help="profile the dispatch loop by callback kind instead of timing "
         "(one run per scenario; incompatible with --baseline/--write/--load)",
     )
     args = parser.parse_args(argv)
-
-    if args.validate:
-        os.environ["REPRO_VALIDATE"] = "1"
+    apply_common_arguments(args)
 
     if args.list:
         for scenario in SCENARIOS:

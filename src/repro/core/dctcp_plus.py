@@ -23,8 +23,8 @@ from ..net.host import Host
 from ..sim.engine import Simulator
 from ..tcp.config import TcpConfig
 from ..tcp.dctcp import DctcpSender
+from ..tcp.events import CC_ACK_ECHO, CCEvent
 from ..tcp.sender import TcpSender
-from ..tcp.timeouts import TimeoutKind
 from .config import DctcpPlusConfig
 from .pacer import SlowTimePacer
 from .state_machine import SlowTimeStateMachine
@@ -75,12 +75,15 @@ class DctcpPlusSender(DctcpSender):
         # as "cwnd has diminished to the minimum value".
         return self.cwnd <= self.config.min_cwnd_bytes + 1e-6
 
-    def _after_ack(self, ece: bool, is_dup: bool) -> None:
+    def on_ecn_echo(self, ev: CCEvent) -> None:
+        if ev.kind is not CC_ACK_ECHO:
+            super().on_ecn_echo(ev)
+            return
         # Fig. 4's "retrans" condition, kernel reading: the sender is in
         # loss recovery after a timeout (CA_Loss) — every ACK while the
         # retransmitted window drains counts as congestion evidence, not
         # just the ACK that follows the first resend.
-        congested = ece or self._retrans_pending or self.in_rto_recovery
+        congested = ev.ece or self._retrans_pending or self.in_rto_recovery
         if congested:
             # Fig. 4: only the NORMAL -> Time_Inc entry requires cwnd at the
             # minimum; once engaged, *any* ECE-marked ACK (or a timeout
@@ -91,12 +94,12 @@ class DctcpPlusSender(DctcpSender):
             # NORMAL with cwnd above the floor: plain DCTCP window control
             # is still responsive; the machine stays in NORMAL.
         else:
-            self.machine.on_clean_ack(self.sim.now)
+            self.machine.on_clean_ack(ev.time_ns)
         self._retrans_pending = False
-        super()._after_ack(ece, is_dup)
+        super().on_ecn_echo(ev)
 
-    def _cc_on_timeout(self, kind: TimeoutKind) -> None:
-        super()._cc_on_timeout(kind)
+    def on_rto(self, ev: CCEvent) -> None:
+        super().on_rto(ev)
         # The timeout retransmission itself is the "retrans" congestion
         # signal; register it immediately so the pacer spaces the go-back-N
         # resends, and remember it for the next ACK's evaluation.

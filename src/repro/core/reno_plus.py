@@ -20,8 +20,8 @@ from ..metrics.flowstats import FlowStats
 from ..net.host import Host
 from ..sim.engine import Simulator
 from ..tcp.config import TcpConfig
+from ..tcp.events import CC_ACK_ECHO, CCEvent
 from ..tcp.sender import TcpSender
-from ..tcp.timeouts import TimeoutKind
 from .config import DctcpPlusConfig
 from .pacer import SlowTimePacer
 from .state_machine import SlowTimeStateMachine
@@ -66,18 +66,21 @@ class RenoPlusSender(TcpSender):
     def _cwnd_at_floor(self) -> bool:
         return self.cwnd <= self.config.min_cwnd_bytes + 1e-6
 
-    def _after_ack(self, ece: bool, is_dup: bool) -> None:
+    def on_ecn_echo(self, ev: CCEvent) -> None:
+        if ev.kind is not CC_ACK_ECHO:
+            super().on_ecn_echo(ev)
+            return
         congested = self._retrans_pending or self.in_rto_recovery
         if congested:
             if self.machine.state is not DctcpPlusState.NORMAL or self._cwnd_at_floor:
                 self.machine.on_congestion_event()
         else:
-            self.machine.on_clean_ack(self.sim.now)
+            self.machine.on_clean_ack(ev.time_ns)
         self._retrans_pending = False
-        super()._after_ack(ece, is_dup)
+        super().on_ecn_echo(ev)
 
-    def _cc_on_timeout(self, kind: TimeoutKind) -> None:
-        super()._cc_on_timeout(kind)
+    def on_rto(self, ev: CCEvent) -> None:
+        super().on_rto(ev)
         self._retrans_pending = True
         if self._cwnd_at_floor:
             self.machine.on_congestion_event()

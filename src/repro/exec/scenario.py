@@ -44,7 +44,9 @@ from ..workloads.swarm import SwarmConfig, SwarmWorkload
 #: cache key so stale entries from older encodings never decode.
 #: v3: ScenarioSpec.cc dimension + PointResult.round_durations_ns.
 #: v4: ScenarioSpec.topology / workload / workload_overrides dimensions.
-SCHEMA_VERSION = 4
+#: v5: external CC policies (cc="external:<policy>") resolve through the
+#:     strategy registry; their senders ride the CC event protocol.
+SCHEMA_VERSION = 5
 
 #: Spec-level workload names (see :func:`_make_workload`): the incast
 #: barrier benchmark, the HTTP closed loop, and the many-to-many swarm.

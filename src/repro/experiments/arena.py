@@ -17,7 +17,11 @@ the arena shows where Pulser's explicit notification and TBTCP's tiny-
 buffer pacing land between them.
 
 Custom strategies registered before the run (``repro.config.register``)
-are scored automatically; ``ccs=(...)`` restricts the field.
+are scored automatically; ``ccs=(...)`` — the CLI's repeatable ``--cc``
+flag — picks the field explicitly, and accepts ``external:<policy>``
+names so :mod:`repro.control` scripted policies compete on equal
+footing (the CI control-smoke job races ``external:dctcp-plus-scripted``
+against the builtin and asserts identical rows).
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from .common import ExperimentResult, run_incast_batch
 
 EXPERIMENT_ID = "arena"
 TITLE = "CC arena — goodput / p99 FCT / timeout taxonomy vs fan-in"
+SUPPORTS_CC_KWARG = True
 
 #: Default sweep: paper-style doubling fan-in at a tractable default scale.
 DEFAULT_N_VALUES = (2, 8, 32, 64, 128)

@@ -10,6 +10,7 @@ from typing import Callable
 
 from . import (
     arena,
+    control_demo,
     fig01_goodput_collapse,
     fig02_cwnd_distribution,
     fig06_partial_dctcp_plus,
@@ -38,6 +39,7 @@ _MODULES = {
     "fig14": fig14_initial_rounds,
     "arena": arena,
     "topo-matrix": topo_matrix,
+    "control-demo": control_demo,
 }
 
 
@@ -75,6 +77,16 @@ def supports_sweep_kwargs(experiment_id: str) -> bool:
     """
     module = _MODULES[experiment_id]
     return getattr(module, "SUPPORTS_SWEEP_KWARGS", True)
+
+
+def supports_cc_kwarg(experiment_id: str) -> bool:
+    """Whether the driver takes a ``ccs`` strategy field (``--cc`` flags).
+
+    Drivers opt in with ``SUPPORTS_CC_KWARG = True`` (the arena's
+    competitor field, the control demo's policy set).
+    """
+    module = _MODULES[experiment_id]
+    return getattr(module, "SUPPORTS_CC_KWARG", False)
 
 
 def paper_scale_kwargs(experiment_id: str) -> dict:

@@ -26,11 +26,11 @@ table** as a serial run, only faster, and a re-run with the same
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 import time
 from typing import List, Optional
 
+from ..cli import add_common_arguments, apply_common_arguments
 from ..exec import ProgressEvent, make_executor, using_executor
 from .registry import (
     describe,
@@ -38,6 +38,7 @@ from .registry import (
     get_runner,
     paper_scale_kwargs,
     quick_scale_kwargs,
+    supports_cc_kwarg,
     supports_sweep_kwargs,
 )
 
@@ -68,37 +69,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N1,N2,...",
         help="comma-separated flow counts for sweep experiments",
     )
-    scale = parser.add_mutually_exclusive_group()
-    scale.add_argument("--paper", action="store_true", help="paper-scale configuration (slow)")
-    scale.add_argument(
-        "--quick",
-        action="store_true",
-        help="smoke-scale configuration (CI; driver-declared or a generic "
-        "rounds/seeds reduction)",
-    )
     parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="simulation worker processes (default: $REPRO_WORKERS or serial)",
+        "--cc",
+        action="append",
+        metavar="NAME",
+        help="congestion-control strategy for experiments taking a field "
+        "(repeatable; the arena accepts registry names and external:<policy>)",
     )
-    parser.add_argument(
-        "--cache-dir",
-        default=None,
-        metavar="DIR",
-        help="cache finished points as JSON under DIR (default: $REPRO_CACHE_DIR)",
+    common = add_common_arguments(
+        parser,
+        quick=True,
+        quick_help="smoke-scale configuration (CI; driver-declared or a "
+        "generic rounds/seeds reduction)",
+        workers=True,
+        cache_dir=True,
+        validate=True,
+    )
+    common.add_argument(
+        "--paper", action="store_true", help="paper-scale configuration (slow)"
     )
     parser.add_argument(
         "--no-progress",
         action="store_true",
         help="suppress the per-point progress lines on stderr",
-    )
-    parser.add_argument(
-        "--validate",
-        action="store_true",
-        help="run every simulation under the repro.validate invariant checker "
-        "(slower; cached points are returned as-is without re-validation)",
     )
     parser.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
     parser.add_argument(
@@ -109,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _kwargs_for(experiment: str, args: argparse.Namespace) -> dict:
     kwargs: dict = {}
+    if args.cc:
+        if not supports_cc_kwarg(experiment):
+            raise SystemExit(
+                f"python -m repro experiments: {experiment!r} does not take --cc"
+            )
+        kwargs["ccs"] = tuple(args.cc)
     if not supports_sweep_kwargs(experiment):
         if args.paper:
             kwargs.update(paper_scale_kwargs(experiment))
@@ -153,16 +152,19 @@ def _print_progress(event: ProgressEvent) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.paper and args.quick:
+        parser.error("--paper and --quick are mutually exclusive")
     if args.list or not args.experiment:
         for experiment_id in experiment_ids():
             print(describe(experiment_id))
         return 0
     runner = get_runner(args.experiment)
     kwargs = _kwargs_for(args.experiment, args)
-    if args.validate:
-        # Via the environment so worker processes inherit the choice.
-        os.environ["REPRO_VALIDATE"] = "1"
+    # Exports --validate/--workers/--cache-dir to the environment so worker
+    # processes inherit the choices.
+    apply_common_arguments(args)
     executor = make_executor(
         workers=args.workers,
         cache_dir=args.cache_dir,

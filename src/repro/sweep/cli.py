@@ -31,6 +31,7 @@ import os
 import sys
 from typing import List, Optional
 
+from ..cli import add_common_arguments, apply_common_arguments
 from ..exec.context import make_executor
 from .orchestrator import SweepProgress, run_sweep, sweep_status
 from .spec import PRESETS, SweepSpec, SweepSpecError, parse_shard, preset
@@ -74,7 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run every missing point of a sweep into the store")
     add_store(run_p)
     add_spec(run_p)
-    run_p.add_argument("--workers", type=int, default=None, metavar="N")
+    add_common_arguments(run_p, workers=True)
     run_p.add_argument("--chunk", type=int, default=None, metavar="N", help=argparse.SUPPRESS)
     run_p.add_argument(
         "--limit",
@@ -138,6 +139,7 @@ def _load_spec(args) -> Optional[SweepSpec]:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    apply_common_arguments(args)
     try:
         return _dispatch(args)
     except (SweepSpecError, StoreError) as exc:

@@ -116,6 +116,18 @@ class CongestionControl:
 
 _REGISTRY: Dict[str, CongestionControl] = {}
 
+#: Names with this prefix resolve to :mod:`repro.control` scripted
+#: policies (``external:<policy>``).  They are *not* entries in the
+#: registry — ``cc_names()`` stays exactly the builtins, so default
+#: strategy fields (e.g. the arena's) never grow implicitly — but
+#: :func:`get_cc` resolves them on demand, so the full spec/cache/sweep/
+#: fuzzer pipeline accepts them anywhere a strategy name flows.
+EXTERNAL_PREFIX = "external:"
+
+#: Resolved external descriptors, cached by full name (kept separate from
+#: ``_REGISTRY`` so enumeration never sees them).
+_EXTERNAL: Dict[str, CongestionControl] = {}
+
 
 def register(cc: CongestionControl, *, replace: bool = False) -> CongestionControl:
     """Add a strategy to the registry; returns it for chaining.
@@ -135,13 +147,28 @@ def unregister(name: str) -> None:
 
 
 def get_cc(name: str) -> CongestionControl:
-    """Look up a strategy by name."""
+    """Look up a strategy by name.
+
+    ``external:<policy>`` names resolve to :mod:`repro.control` scripted
+    policies (imported lazily; the import is upward in the layer graph,
+    which is why it happens here and not at module scope).
+    """
     try:
         return _REGISTRY[name]
     except KeyError:
-        raise ValueError(
-            f"unknown congestion control {name!r}; choose from {cc_names()}"
-        ) from None
+        pass
+    if name.startswith(EXTERNAL_PREFIX):
+        cached = _EXTERNAL.get(name)
+        if cached is not None:
+            return cached
+        from ..control.policies import external_cc
+
+        cc = external_cc(name[len(EXTERNAL_PREFIX):])
+        _EXTERNAL[name] = cc
+        return cc
+    raise ValueError(
+        f"unknown congestion control {name!r}; choose from {cc_names()}"
+    )
 
 
 def cc_names() -> Tuple[str, ...]:

@@ -27,6 +27,7 @@ from ..metrics.flowstats import FlowStats
 from ..net.host import Host
 from ..sim.engine import Simulator
 from .config import TcpConfig
+from .events import CCEvent
 from .flowstate import ledger_field, ledger_flag
 from .sender import TcpSender
 
@@ -64,14 +65,15 @@ class DctcpSender(TcpSender):
         self.floor_limited_reductions = 0
 
     # -- DCTCP marked-fraction bookkeeping --------------------------------------
-    def _cc_on_ack(self, newly_acked: int, ece: bool) -> None:
+    def on_ack(self, ev: CCEvent) -> None:
         fl = self._fl
         slot = self._slot
+        newly_acked = ev.newly_acked
         fl.win_bytes_acked[slot] += newly_acked
-        if ece:
+        if ev.ece:
             fl.win_bytes_marked[slot] += newly_acked
             fl.win_saw_ece[slot] = 1
-        super()._cc_on_ack(newly_acked, ece)
+        super().on_ack(ev)
         if fl.snd_una[slot] >= fl.win_end_seq[slot]:
             self._end_of_window()
 
@@ -114,11 +116,11 @@ class DctcpSender(TcpSender):
         """
         return self.alpha
 
-    def _cc_on_timeout(self, kind) -> None:
+    def on_rto(self, ev: CCEvent) -> None:
         # A whole window was lost; restart the marking observation window at
         # the retransmission point so stale mark counts don't leak in.
         self._win_end_seq = self.snd_una
         self._win_bytes_acked = 0
         self._win_bytes_marked = 0
         self._win_saw_ece = False
-        super()._cc_on_timeout(kind)
+        super().on_rto(ev)

@@ -1,0 +1,103 @@
+"""The typed congestion-control event protocol.
+
+Congestion control used to reach into the sender through a grab-bag of
+ad-hoc methods (``_cc_on_ack`` / ``_cc_on_timeout`` / ``_after_ack`` plus
+Pulser's private ``_on_ack`` override).  This module replaces that with
+one small surface every strategy — builtin or external — implements:
+
+``on_ack(ev)``
+    The window-law point: a clean cumulative ACK arrived and the sender
+    is *not* in fast recovery.  ``ev.newly_acked`` / ``ev.ece`` carry the
+    ACK; the base implementation is Reno growth, DCTCP layers its
+    marked-byte bookkeeping on top.
+``on_ecn_echo(ev)``
+    Congestion-feedback echoes.  Two kinds share the method:
+    ``CC_ACK_ECHO`` fires once per received ACK *after* the ACK has been
+    fully processed (DCTCP+'s state machine feeds here), and
+    ``CC_INC_ECHO`` fires *before* ACK processing when the ACK carries
+    the explicit incast-onset bit (Pulser reacts here).  Dispatch order
+    and sites are exactly where the legacy hooks sat, so migrated
+    strategies are byte-for-byte identical.
+``on_rto(ev)``
+    The retransmission timer expired; ``ev.rto_kind`` is the
+    :class:`~repro.tcp.timeouts.TimeoutKind` classification.
+``on_send_opportunity(ev) -> int``
+    The pacing gate consulted per departure **only when a pacer is
+    attached**; returns the earliest allowed departure time in ns
+    (``ev.time_ns`` to send now).  Unpaced senders never pay for it.
+
+Events are **transient**: each sender owns one :class:`CCEvent` instance
+and mutates it in place per dispatch (the hot path allocates nothing),
+so handlers must read fields during the call and never retain the event.
+Only the fields of the current ``kind`` are meaningful; the rest may
+hold stale values from a previous dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from .timeouts import TimeoutKind
+
+#: ``on_ack``: clean cumulative ACK outside fast recovery (window law).
+CC_ACK = "ack"
+#: ``on_ecn_echo``: per-ACK feedback echo, after ACK processing.
+CC_ACK_ECHO = "ack-echo"
+#: ``on_ecn_echo``: explicit incast-onset echo (the INC bit), before
+#: ACK processing.
+CC_INC_ECHO = "inc-echo"
+#: ``on_rto``: retransmission timeout fired.
+CC_RTO = "rto"
+#: ``on_send_opportunity``: a data segment is eligible to depart.
+CC_SEND = "send"
+
+
+class CCEvent:
+    """One congestion-control event (a reusable, mutable record).
+
+    Field validity by ``kind``:
+
+    =================  =================================================
+    ``CC_ACK``         ``time_ns``, ``newly_acked``, ``ece``
+    ``CC_ACK_ECHO``    ``time_ns``, ``ece``, ``is_dup``
+    ``CC_INC_ECHO``    ``time_ns``, ``ece``, ``inc`` (always True)
+    ``CC_RTO``         ``time_ns``, ``rto_kind``
+    ``CC_SEND``        ``time_ns``
+    =================  =================================================
+
+    The ``kind`` values are the interned module constants above, so
+    handlers can compare with ``is``.
+    """
+
+    __slots__ = ("kind", "time_ns", "newly_acked", "ece", "inc", "is_dup", "rto_kind")
+
+    def __init__(self) -> None:
+        self.kind: str = CC_ACK
+        self.time_ns: int = 0
+        self.newly_acked: int = 0
+        self.ece: bool = False
+        self.inc: bool = False
+        self.is_dup: bool = False
+        self.rto_kind: Optional[TimeoutKind] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CCEvent(kind={self.kind!r}, t={self.time_ns}, "
+            f"newly_acked={self.newly_acked}, ece={self.ece}, "
+            f"inc={self.inc}, is_dup={self.is_dup}, rto_kind={self.rto_kind})"
+        )
+
+
+class CCEventHandler(Protocol):
+    """What a congestion-control implementation looks like.
+
+    :class:`~repro.tcp.sender.TcpSender` and its subclasses implement
+    this directly; :class:`~repro.control.ExternalPolicy` implements it
+    with an explicit ``sender`` first argument and is adapted by
+    ``ExternalPolicySender``.
+    """
+
+    def on_ack(self, ev: CCEvent) -> None: ...
+    def on_ecn_echo(self, ev: CCEvent) -> None: ...
+    def on_rto(self, ev: CCEvent) -> None: ...
+    def on_send_opportunity(self, ev: CCEvent) -> int: ...

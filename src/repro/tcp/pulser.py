@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from ..net.topology import TwoTierTree
 from .dctcp import DctcpSender
+from .events import CC_INC_ECHO, CCEvent
 
 #: Multiplicative backoff applied on an incast-onset echo.
 INC_BACKOFF_FACTOR = 0.5
@@ -57,11 +58,12 @@ class PulserSender(DctcpSender):
         self.inc_acks_received = 0
         self.incast_backoffs = 0
 
-    def _on_ack(self, ack_seq: int, ece: bool, inc: int = 0) -> None:
-        if inc and not self.completed:
+    def on_ecn_echo(self, ev: CCEvent) -> None:
+        if ev.kind is CC_INC_ECHO:
             self.inc_acks_received += 1
             self._on_incast_signal()
-        super()._on_ack(ack_seq, ece, inc)
+            return
+        super().on_ecn_echo(ev)
 
     def _on_incast_signal(self) -> None:
         if self.snd_una < self._inc_guard_seq:
@@ -74,8 +76,8 @@ class PulserSender(DctcpSender):
         self._inc_guard_seq = self.snd_nxt
         self.incast_backoffs += 1
 
-    def _cc_on_timeout(self, kind) -> None:
+    def on_rto(self, ev: CCEvent) -> None:
         # The window was lost; the guard must not outlive the go-back-N
         # rewind or the first post-recovery signal would be ignored.
         self._inc_guard_seq = self.snd_una
-        super()._cc_on_timeout(kind)
+        super().on_rto(ev)

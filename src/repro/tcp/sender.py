@@ -23,11 +23,15 @@ with locals — no property dispatch, no repeated attribute chains.
 Packets are pooled handles (:mod:`repro.net.pool`); the sender frees the
 ACK handle as soon as its fields are read.
 
-Subclass hooks
---------------
-``_cc_on_ack``      window growth + (in DCTCP) marking bookkeeping
-``_cc_on_timeout``  reaction to an expired RTO
-``_after_ack``      called for every ACK (DCTCP+ state machine input)
+Congestion-control surface
+--------------------------
+Strategies hook in through the typed :class:`~repro.tcp.events.CCEvent`
+protocol (see :mod:`repro.tcp.events`):
+
+``on_ack(ev)``               window growth + (in DCTCP) marking bookkeeping
+``on_ecn_echo(ev)``          feedback echoes (per-ACK, and the INC bit)
+``on_rto(ev)``               reaction to an expired RTO
+``on_send_opportunity(ev)``  pacing gate (consulted only with a pacer)
 """
 
 from __future__ import annotations
@@ -39,9 +43,10 @@ from ..net.host import Host
 from ..net.pool import F_ACK, F_ECE, F_INC, PacketPool
 from ..sim.engine import Simulator
 from .config import TcpConfig
+from .events import CC_ACK, CC_ACK_ECHO, CC_INC_ECHO, CC_RTO, CC_SEND, CCEvent
 from .flowstate import FlowLedger, ledger_field
 from .rtt import RttEstimator
-from .timeouts import TimeoutKind, classify_timeout
+from .timeouts import classify_timeout
 
 
 class Pacer(Protocol):
@@ -128,6 +133,9 @@ class TcpSender:
         self.stats.flow_id = flow_id
         self.on_complete = on_complete
         self.pacer: Optional[Pacer] = None
+        #: the one reusable CC event record, mutated in place per dispatch
+        #: (events are transient — see :mod:`repro.tcp.events`).
+        self._cc_event = CCEvent()
 
         host.register_flow(flow_id, self)
         #: bound once; rare-path emits (RTO, retransmit) test it for None,
@@ -242,7 +250,10 @@ class TcpSender:
             if snd_nxt - snd_una + seg_len > window:
                 break
             if pacer is not None:
-                gate = pacer.next_send_time(now)
+                ev = self._cc_event
+                ev.kind = CC_SEND
+                ev.time_ns = now
+                gate = self.on_send_opportunity(ev)
                 if gate > now:
                     self._schedule_send_retry(gate)
                     return
@@ -310,6 +321,16 @@ class TcpSender:
     def _on_ack(self, ack_seq: int, ece: bool, inc: int = 0) -> None:
         if self.completed:
             return
+        if inc:
+            # Explicit incast-onset echo (the INC bit): dispatched before
+            # ACK processing so a strategy's backoff lands ahead of the
+            # window-law update, exactly where Pulser's reaction sat.
+            ev = self._cc_event
+            ev.kind = CC_INC_ECHO
+            ev.time_ns = self.sim.now
+            ev.ece = ece
+            ev.inc = True
+            self.on_ecn_echo(ev)
         self._acks_since_timer_armed += 1
         stats = self.stats
         stats.acks_received += 1
@@ -361,7 +382,12 @@ class TcpSender:
                 self._retransmit_front()
                 cwnd_col[slot] = max(float(cfg.mss), cwnd_col[slot] - newly_acked + cfg.mss)
         else:
-            self._cc_on_ack(newly_acked, ece)
+            ev = self._cc_event
+            ev.kind = CC_ACK
+            ev.time_ns = self.sim.now
+            ev.newly_acked = newly_acked
+            ev.ece = ece
+            self.on_ack(ev)
 
         total = self.total_bytes
         if total > 0 and ack_seq >= total:
@@ -372,7 +398,12 @@ class TcpSender:
             # Nothing outstanding (remaining data may be gated by the
             # pacer); the timer re-arms when the next packet departs.
             self._stop_timer()
-        self._after_ack(ece, is_dup=False)
+        ev = self._cc_event
+        ev.kind = CC_ACK_ECHO
+        ev.time_ns = self.sim.now
+        ev.ece = ece
+        ev.is_dup = False
+        self.on_ecn_echo(ev)
         if not self.completed:
             self._try_send()
 
@@ -392,7 +423,12 @@ class TcpSender:
             # beyond the window, keeping the ACK clock alive for windows
             # too small to generate three duplicates.
             self._limited_transmit()
-        self._after_ack(ece, is_dup=True)
+        ev = self._cc_event
+        ev.kind = CC_ACK_ECHO
+        ev.time_ns = self.sim.now
+        ev.ece = ece
+        ev.is_dup = True
+        self.on_ecn_echo(ev)
         self._try_send()
 
     def _limited_transmit(self) -> None:
@@ -471,7 +507,11 @@ class TcpSender:
         self.snd_nxt = self.snd_una  # go-back-N
         self._segment_send_time.clear()  # Karn: everything is a retransmit now
         self.rto_backoff = min(self.rto_backoff + 1, cfg.max_rto_backoff)
-        self._cc_on_timeout(kind)
+        ev = self._cc_event
+        ev.kind = CC_RTO
+        ev.time_ns = self.sim.now
+        ev.rto_kind = kind
+        self.on_rto(ev)
         self._retransmit_front()
         self.snd_nxt = min(self.total_bytes, self.snd_una + cfg.mss)
         self._arm_timer()
@@ -486,12 +526,13 @@ class TcpSender:
         if self.on_complete is not None:
             self.on_complete(self)
 
-    # ------------------------------------------------------------ subclass hooks
-    def _cc_on_ack(self, newly_acked: int, ece: bool) -> None:
+    # ----------------------------------------------- CC event protocol (CCEvent)
+    def on_ack(self, ev: CCEvent) -> None:
         """Window growth on a clean cumulative ACK (not in fast recovery)."""
         cfg = self.config
         fl = self._fl
         slot = self._slot
+        newly_acked = ev.newly_acked
         cwnd_col = fl.cwnd
         cwnd = cwnd_col[slot]
         if cwnd < fl.ssthresh[slot]:
@@ -508,11 +549,22 @@ class TcpSender:
                 cwnd_col[slot] = min(cwnd + cfg.mss, cfg.rwnd_bytes)
             ca_col[slot] = acked
 
-    def _cc_on_timeout(self, kind: TimeoutKind) -> None:
+    def on_ecn_echo(self, ev: CCEvent) -> None:
+        """Feedback echoes: per-ACK (``CC_ACK_ECHO``, after the ACK is
+        processed — DCTCP+'s state-machine input) and the explicit
+        incast-onset bit (``CC_INC_ECHO``, before — Pulser's reaction)."""
+
+    def on_rto(self, ev: CCEvent) -> None:
         """Extra protocol reaction to an RTO (DCTCP+ hooks in here)."""
 
-    def _after_ack(self, ece: bool, is_dup: bool) -> None:
-        """Called once per received ACK (DCTCP+ state machine input)."""
+    def on_send_opportunity(self, ev: CCEvent) -> int:
+        """Pacing gate: earliest allowed departure time in ns.
+
+        Consulted per eligible segment **only when a pacer is attached**;
+        the base implementation defers to it.  Returning ``ev.time_ns``
+        (or any past time) releases the segment immediately.
+        """
+        return self.pacer.next_send_time(ev.time_ns)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -22,6 +22,7 @@ plus a clamp on top of an existing sender.
 from __future__ import annotations
 
 from .dctcp import DctcpSender
+from .events import CCEvent
 
 #: Window cap in segments.  The paper's testbed BDP is ~8.5 MSS; ten
 #: segments keeps a single paced flow link-limited while denying any flow
@@ -68,7 +69,7 @@ class TbtcpSender(DctcpSender):
         self.cwnd = min(self.cwnd, self._cwnd_cap_bytes)
         self.pacer = TinyBufferPacer(self)
 
-    def _cc_on_ack(self, newly_acked: int, ece: bool) -> None:
-        super()._cc_on_ack(newly_acked, ece)
+    def on_ack(self, ev: CCEvent) -> None:
+        super().on_ack(ev)
         if self.cwnd > self._cwnd_cap_bytes:
             self.cwnd = self._cwnd_cap_bytes

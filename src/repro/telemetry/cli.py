@@ -18,9 +18,9 @@ dispatch-loop breakdown.
 from __future__ import annotations
 
 import argparse
-import os
 from typing import Optional, Sequence
 
+from ..cli import add_common_arguments, apply_common_arguments
 from .taxonomy import queue_occupancy_summary, timeout_taxonomy, timeout_taxonomy_from_stats
 
 
@@ -46,16 +46,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="incast rounds (default: 2)",
     )
-    parser.add_argument("--seed", type=int, default=1, help="scenario seed (default: 1)")
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="trace a small 8-flow point instead (CI smoke)",
-    )
-    parser.add_argument(
-        "--validate",
-        action="store_true",
-        help="also attach the repro.validate invariant checker",
+    add_common_arguments(
+        parser,
+        seed=True,
+        quick=True,
+        quick_help="trace a small 8-flow point instead (CI smoke)",
     )
     parser.add_argument(
         "--jsonl",
@@ -77,8 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.validate:
-        os.environ["REPRO_VALIDATE"] = "1"
+    apply_common_arguments(args)
 
     # Imports deferred so ``python -m repro trace --help`` stays instant.
     from ..exec.context import make_executor

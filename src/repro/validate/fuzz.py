@@ -23,9 +23,9 @@ the CI smoke job runs one such mutation alongside the clean sweep.
 
 Usage::
 
-    PYTHONPATH=src python -m repro.validate.fuzz --seeds 20 --budget 60s
-    PYTHONPATH=src python -m repro.validate.fuzz --seed 7          # replay
-    PYTHONPATH=src python -m repro.validate.fuzz --seeds 20 --mutate double-drop
+    PYTHONPATH=src python -m repro fuzz --seeds 20 --budget 60s
+    PYTHONPATH=src python -m repro fuzz --seed 7          # replay
+    PYTHONPATH=src python -m repro fuzz --seeds 20 --mutate double-drop
 """
 
 from __future__ import annotations
@@ -34,7 +34,6 @@ import argparse
 import hashlib
 import json
 import random
-import sys
 import time
 from contextlib import contextmanager, nullcontext
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -46,9 +45,11 @@ from ..sim.units import KB, MB, SEC
 from .checker import InvariantViolation
 
 #: Protocols the fuzzer samples (the full implemented matrix minus the
-#: plain-TCP baseline, which exercises no code the others miss).
+#: plain-TCP baseline, which exercises no code the others miss; the
+#: ``external:`` names route through the repro.control policy adapter).
 FUZZ_PROTOCOLS = (
     "dctcp", "dctcp+", "dctcp+norand", "tcp+", "d2tcp", "d2tcp+", "pulser", "tbtcp",
+    "external:dctcp-plus-scripted", "external:deadline-greedy",
 )
 
 
@@ -326,7 +327,7 @@ def _parse_budget(text: str) -> float:
 
 
 def _repro_command(seed: int, mutate: Optional[str]) -> str:
-    cmd = f"PYTHONPATH=src python -m repro.validate.fuzz --seed {seed}"
+    cmd = f"PYTHONPATH=src python -m repro fuzz --seed {seed}"
     if mutate:
         cmd += f" --mutate {mutate}"
     return cmd
@@ -334,7 +335,7 @@ def _repro_command(seed: int, mutate: Optional[str]) -> str:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.validate.fuzz",
+        prog="python -m repro fuzz",
         description="Fuzz random scenarios under full invariant checking.",
     )
     parser.add_argument("--seeds", type=int, default=20, help="number of fuzz seeds to run")
@@ -396,18 +397,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             check_parallel_batch(passed_specs, serial_digests)
         except FuzzFailure as exc:
             print(f"parallel differential: FAIL — {exc}")
-            print(f"repro: PYTHONPATH=src python -m repro.validate.fuzz --seeds {len(seeds)}")
+            print(f"repro: PYTHONPATH=src python -m repro fuzz --seeds {len(seeds)}")
             return 1
         print(f"parallel differential: ok ({len(passed_specs)} specs)")
 
     elapsed = time.monotonic() - started
     print(f"all checks passed: {len(passed_specs)} seeds in {elapsed:.1f}s")
     return 0
-
-
-if __name__ == "__main__":
-    print(
-        "repro: 'python -m repro.validate.fuzz' is deprecated; use 'python -m repro fuzz'",
-        file=sys.stderr,
-    )
-    sys.exit(main())

@@ -44,6 +44,10 @@ TINY_KWARGS: Dict[str, dict] = {
     # at tiny scale: pins the topology builders, seeded ECMP path selection
     # and both closed-loop workloads end to end.
     "topo-matrix": dict(n_flows=4, rounds=2, seeds=(1,)),
+    # ControlEnv autopilot + scripted throttle agent, plus the external
+    # policies through the batch executor: pins the CC event protocol, the
+    # env's observation/window machinery and the external: resolution path.
+    "control-demo": dict(n_flows=8, rounds=2, seed=1),
 }
 
 

@@ -1,0 +1,123 @@
+"""External scripted policies: registry, ``external:`` resolution, and the
+byte-for-byte DCTCP+ equivalence that proves the CC event adapter lossless."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.control import DctcpPlusScripted, DeadlineGreedy, get_policy, policy_names
+from repro.exec.scenario import ScenarioSpec, run_scenario
+from repro.tcp.cc import EXTERNAL_PREFIX, cc_names, get_cc
+
+
+def _payload(result) -> dict:
+    payload = result.to_dict()
+    payload.pop("wall_time_s", None)
+    return payload
+
+
+# -- registry / resolution ----------------------------------------------------------
+def test_policy_registry_contents():
+    names = policy_names()
+    assert "dctcp-plus-scripted" in names
+    assert "deadline-greedy" in names
+    assert get_policy("dctcp-plus-scripted") is DctcpPlusScripted
+    assert get_policy("deadline-greedy") is DeadlineGreedy
+
+
+def test_unknown_policy_raises():
+    with pytest.raises(ValueError):
+        get_policy("no-such-policy")
+
+
+def test_external_names_resolve_without_polluting_the_registry():
+    before = cc_names()
+    cc = get_cc(EXTERNAL_PREFIX + "dctcp-plus-scripted")
+    assert cc.name == "external:dctcp-plus-scripted"
+    assert cc.slow_time  # metadata mirrors the policy template
+    assert get_cc(EXTERNAL_PREFIX + "deadline-greedy").deadline_aware
+    # external names are resolvable, never enumerated: the arena's default
+    # field (and its golden digest) must not change under them.
+    assert cc_names() == before
+    assert "external:dctcp-plus-scripted" not in cc_names()
+
+
+def test_unknown_external_name_raises():
+    with pytest.raises(ValueError):
+        get_cc(EXTERNAL_PREFIX + "bogus")
+
+
+# -- the adapter-lossless proof -----------------------------------------------------
+@pytest.mark.parametrize("n_flows", [4, 16])
+def test_scripted_dctcp_plus_is_byte_identical_to_builtin(n_flows):
+    """The scripted policy re-expresses the DCTCP+ slow_time law through the
+    CC event protocol; on the paper's incast point it must reproduce the
+    builtin sender's results exactly — same goodput, same timeouts, same
+    per-flow stats, same event count."""
+    builtin = ScenarioSpec.create(protocol="dctcp+", n_flows=n_flows, rounds=2, seed=1)
+    external = ScenarioSpec.create(
+        protocol="dctcp+", n_flows=n_flows, rounds=2, seed=1,
+        cc="external:dctcp-plus-scripted",
+    )
+    assert _payload(run_scenario(builtin)) == _payload(run_scenario(external))
+
+
+def test_scripted_equivalence_golden_digest():
+    """Pin the equivalence as a digest so a drift in *either* leg trips it."""
+    import hashlib
+
+    spec = ScenarioSpec.create(
+        protocol="dctcp+", n_flows=8, rounds=2, seed=1,
+        cc="external:dctcp-plus-scripted",
+    )
+    blob = json.dumps(_payload(run_scenario(spec)), sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(blob.encode()).hexdigest()
+
+    reference = ScenarioSpec.create(protocol="dctcp+", n_flows=8, rounds=2, seed=1)
+    ref_blob = json.dumps(
+        _payload(run_scenario(reference)), sort_keys=True, separators=(",", ":")
+    )
+    assert digest == hashlib.sha256(ref_blob.encode()).hexdigest()
+
+
+def test_scripted_srtt_backoff_mode_matches_builtin():
+    overrides = {"backoff_unit_mode": "srtt"}
+    builtin = ScenarioSpec.create(
+        protocol="dctcp+", n_flows=8, rounds=2, seed=3, plus_overrides=overrides
+    )
+    external = ScenarioSpec.create(
+        protocol="dctcp+", n_flows=8, rounds=2, seed=3, plus_overrides=overrides,
+        cc="external:dctcp-plus-scripted",
+    )
+    assert _payload(run_scenario(builtin)) == _payload(run_scenario(external))
+
+
+# -- deadline-greedy ---------------------------------------------------------------
+def test_deadline_greedy_runs_and_differs_from_dctcp_under_deadlines():
+    base = dict(n_flows=16, rounds=2, seed=1,
+                incast_overrides={"flow_deadline_ns": 2_000_000})
+    greedy = run_scenario(
+        ScenarioSpec.create(protocol="dctcp", cc="external:deadline-greedy", **base)
+    )
+    plain = run_scenario(ScenarioSpec.create(protocol="dctcp", **base))
+    assert greedy.events_processed > 0
+    # The greedy policy suppresses cwnd reduction for deadline-threatened
+    # flows, so its trajectory must diverge from plain DCTCP.
+    assert _payload(greedy) != _payload(plain)
+
+
+def test_external_spec_cache_key_distinguishes_policies():
+    a = ScenarioSpec.create(protocol="dctcp", cc="external:dctcp-plus-scripted",
+                            n_flows=4, rounds=1, seed=1)
+    b = ScenarioSpec.create(protocol="dctcp", cc="external:deadline-greedy",
+                            n_flows=4, rounds=1, seed=1)
+    assert a.cache_key() != b.cache_key()
+
+
+def test_fuzzer_samples_external_protocols():
+    from repro.validate.fuzz import FUZZ_PROTOCOLS
+
+    assert "external:dctcp-plus-scripted" in FUZZ_PROTOCOLS
+    assert "external:deadline-greedy" in FUZZ_PROTOCOLS

@@ -11,7 +11,7 @@ import pytest
 
 import repro
 
-#: The v1.3 public surface.  Extend when the API grows; removing a name
+#: The v1.4 public surface.  Extend when the API grows; removing a name
 #: is a breaking change and should be a conscious decision.
 EXPECTED_SURFACE = {
     # simulator + topology
@@ -38,12 +38,15 @@ EXPECTED_SURFACE = {
     "TcpReceiver",
     "DctcpSender",
     "TimeoutKind",
-    # congestion-control strategy registry
+    # congestion-control strategy registry + event protocol + control plane
     "CongestionControl",
     "register",
     "get_cc",
     "cc_names",
     "cc_labels",
+    "CCEvent",
+    "ControlEnv",
+    "ExternalPolicy",
     "DctcpPlusConfig",
     "DctcpPlusSender",
     "DctcpPlusState",

@@ -111,7 +111,7 @@ class TestMutationDetection:
     def test_mutation_found_within_20_seeds(self, mutation, capsys):
         assert main(["--seeds", "20", "--mutate", mutation]) == 1
         out = capsys.readouterr().out
-        match = re.search(r"repro: PYTHONPATH=src python -m repro\.validate\.fuzz "
+        match = re.search(r"repro: PYTHONPATH=src python -m repro fuzz "
                           r"--seed (\d+) --mutate " + mutation, out)
         assert match, f"no repro command printed:\n{out}"
         first_failure = out.splitlines()[-2]
